@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: environment
+ * knobs for run size, and table emission of sweep results.
+ *
+ * Environment variables:
+ *  - ORION_SAMPLE: packets in the measurement sample (default 10000,
+ *    the paper's value; set lower for quick smoke runs)
+ *  - ORION_MAX_CYCLES: post-warm-up cycle cap per point
+ *  - ORION_SEED: RNG seed
+ */
+
+#ifndef ORION_BENCH_BENCH_UTIL_HH
+#define ORION_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/config.hh"
+#include "core/report.hh"
+#include "core/simulation.hh"
+#include "core/sweep.hh"
+
+namespace orion::bench {
+
+inline std::uint64_t
+envU64(const char* name, std::uint64_t fallback)
+{
+    const char* v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline SimConfig
+defaultSimConfig()
+{
+    SimConfig s;
+    s.warmupCycles = 1000;
+    s.samplePackets = envU64("ORION_SAMPLE", 10000);
+    s.maxCycles = envU64("ORION_MAX_CYCLES", 400000);
+    s.seed = envU64("ORION_SEED", 1);
+    return s;
+}
+
+/** "0.150" style rate label. */
+inline std::string
+rateLabel(double rate)
+{
+    return report::fmt(rate, 3);
+}
+
+/** Latency cell: "-" once the run failed to complete (saturated). */
+inline std::string
+latencyCell(const Report& r)
+{
+    if (!r.completed)
+        return r.deadlockSuspected ? "stall" : ">cap";
+    return report::fmt(r.avgLatencyCycles, 1);
+}
+
+inline std::string
+powerCell(const Report& r)
+{
+    return report::fmt(r.networkPowerWatts, 2);
+}
+
+} // namespace orion::bench
+
+#endif // ORION_BENCH_BENCH_UTIL_HH

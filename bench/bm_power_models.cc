@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Power-model evaluation microbenchmarks (google-benchmark).
+ *
+ * The paper's pitch against RTL-level tools: "our architectural-level
+ * power simulator takes on the order of minutes" — which requires the
+ * per-event model evaluations to be near-free. These benchmarks
+ * measure the per-call cost of each Table 2-4 model, plus model
+ * construction (done once per configuration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "power/arbiter_model.hh"
+#include "power/buffer_model.hh"
+#include "power/central_buffer_model.hh"
+#include "power/crossbar_model.hh"
+#include "power/link_model.hh"
+#include "tech/tech_node.hh"
+
+namespace {
+
+using namespace orion;
+
+const tech::TechNode kTech = tech::TechNode::onChip100nm();
+
+void
+BM_BufferModelConstruct(benchmark::State& state)
+{
+    for (auto _ : state) {
+        power::BufferModel m(kTech, {64, 256, 1, 1});
+        benchmark::DoNotOptimize(m.readEnergy());
+    }
+}
+
+void
+BM_BufferReadEnergy(benchmark::State& state)
+{
+    const power::BufferModel m(kTech, {64, 256, 1, 1});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.readEnergy());
+}
+
+void
+BM_BufferWriteEnergy(benchmark::State& state)
+{
+    const power::BufferModel m(kTech, {64, 256, 1, 1});
+    unsigned d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.writeEnergy(d % 256, (d / 2) % 256));
+        ++d;
+    }
+}
+
+void
+BM_CrossbarTraversalEnergy(benchmark::State& state)
+{
+    const power::CrossbarModel m(
+        kTech, {5, 5, 256, power::CrossbarKind::Matrix, 0.0});
+    unsigned d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.traversalEnergy(d % 256));
+        ++d;
+    }
+}
+
+void
+BM_ArbiterEnergy(benchmark::State& state)
+{
+    const power::ArbiterModel m(kTech,
+                                {4, power::ArbiterKind::Matrix, 0.0});
+    unsigned d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.arbitrationEnergy(d % 4, d % 3));
+        ++d;
+    }
+}
+
+void
+BM_CentralBufferWriteEnergy(benchmark::State& state)
+{
+    const power::CentralBufferModel m(
+        kTech, {4, 2560, 32, 2, 2, 5, 2});
+    unsigned d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.writeEnergy(d % 32, d % 32, (d / 2) % 32));
+        ++d;
+    }
+}
+
+void
+BM_LinkTraversalEnergy(benchmark::State& state)
+{
+    const power::OnChipLinkModel m(kTech, 3000.0, 256);
+    unsigned d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.traversalEnergy(d % 256));
+        ++d;
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BufferModelConstruct);
+BENCHMARK(BM_BufferReadEnergy);
+BENCHMARK(BM_BufferWriteEnergy);
+BENCHMARK(BM_CrossbarTraversalEnergy);
+BENCHMARK(BM_ArbiterEnergy);
+BENCHMARK(BM_CentralBufferWriteEnergy);
+BENCHMARK(BM_LinkTraversalEnergy);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulator speed microbenchmarks (google-benchmark).
+ *
+ * The paper (Section 4.1) quotes "a system simulation speed of about
+ * 1000 simulation cycles per second on a Pentium III 750MHz" for the
+ * 59-module 4x4 torus VC network. These benchmarks measure our
+ * cycles/second on the same network shapes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.hh"
+#include "core/simulation.hh"
+
+namespace {
+
+using namespace orion;
+
+void
+runCycles(benchmark::State& state, const NetworkConfig& cfg,
+          double rate)
+{
+    TrafficConfig traffic;
+    traffic.injectionRate = rate;
+    SimConfig sim;
+    Simulation s(cfg, traffic, sim);
+    // Warm the network so the measured cycles carry real traffic.
+    s.step(1000);
+
+    const auto chunk = static_cast<sim::Cycle>(state.range(0));
+    for (auto _ : state)
+        s.step(chunk);
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(chunk * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_Vc16Network(benchmark::State& state)
+{
+    runCycles(state, NetworkConfig::vc16(), 0.08);
+}
+
+void
+BM_Vc64Network(benchmark::State& state)
+{
+    runCycles(state, NetworkConfig::vc64(), 0.08);
+}
+
+void
+BM_Wormhole64Network(benchmark::State& state)
+{
+    runCycles(state, NetworkConfig::wh64(), 0.08);
+}
+
+void
+BM_CentralBufferNetwork(benchmark::State& state)
+{
+    runCycles(state, NetworkConfig::cb(), 0.08);
+}
+
+void
+BM_XbNetwork(benchmark::State& state)
+{
+    runCycles(state, NetworkConfig::xb(), 0.08);
+}
+
+} // namespace
+
+BENCHMARK(BM_Vc16Network)->Arg(256);
+BENCHMARK(BM_Vc64Network)->Arg(256);
+BENCHMARK(BM_Wormhole64Network)->Arg(256);
+BENCHMARK(BM_CentralBufferNetwork)->Arg(256);
+BENCHMARK(BM_XbNetwork)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 6 reproduction: power spatial distribution of a 4x4 on-chip
+ * torus under diverse traffic (paper Section 4.3).
+ *
+ *  - 6(a): uniform random traffic, total network injection rate 0.2
+ *    packets/cycle (0.2/16 per node) — expect a flat per-node power
+ *    map.
+ *  - 6(b): broadcast traffic from node (1,2) at 0.2 packets/cycle —
+ *    expect power peaked at the source, decaying with Manhattan
+ *    distance; with y-first routing, (1,1) and (1,3) above (0,2) and
+ *    (2,2); columns with equal x (x != 1) uniform.
+ *
+ * Router: VC, 2 VCs x 8 flits (the paper's Section 4.3 config).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace orion;
+
+void
+printMap(const char* title, const Report& r)
+{
+    report::Table t;
+    t.title = title;
+    t.headers = {"y\\x", "0", "1", "2", "3"};
+    for (int y = 3; y >= 0; --y) {
+        std::vector<std::string> row{std::to_string(y)};
+        for (int x = 0; x < 4; ++x) {
+            row.push_back(
+                report::fmt(r.nodePowerWatts[static_cast<unsigned>(
+                                y * 4 + x)],
+                            3));
+        }
+        t.addRow(std::move(row));
+    }
+    std::printf("%s\n", report::formatTable(t).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace orion::bench;
+
+    const SimConfig sim = defaultSimConfig();
+    NetworkConfig net = NetworkConfig::vc16(); // 2 VCs x 8 flits
+
+    std::printf("Figure 6 — power spatial distribution, 4x4 on-chip "
+                "torus, VC router (2 VCs x 8 flits)\n");
+    std::printf("total injection 0.2 packets/cycle across the "
+                "network in both workloads\n\n");
+
+    // 6(a): uniform random at 0.2/16 per node.
+    TrafficConfig uniform;
+    uniform.pattern = net::TrafficPattern::UniformRandom;
+    uniform.injectionRate = 0.2 / 16.0;
+    Simulation sa(net, uniform, sim);
+    const Report ra = sa.run();
+    printMap("Fig 6(a) — per-node power (W), uniform random", ra);
+
+    double pmin = 1e30;
+    double pmax = 0.0;
+    for (const double p : ra.nodePowerWatts) {
+        pmin = std::min(pmin, p);
+        pmax = std::max(pmax, p);
+    }
+    std::printf("uniform spread: min %.3f W, max %.3f W "
+                "(max/min = %.2f — flat distribution)\n\n",
+                pmin, pmax, pmax / pmin);
+
+    // 6(b): broadcast from (1,2) at 0.2 packets/cycle.
+    TrafficConfig bcast;
+    bcast.pattern = net::TrafficPattern::Broadcast;
+    bcast.injectionRate = 0.2;
+    bcast.broadcastSource = 1 + 2 * 4; // node (1,2)
+    Simulation sb(net, bcast, sim);
+    const Report rb = sb.run();
+    printMap("Fig 6(b) — per-node power (W), broadcast from (1,2)", rb);
+
+    const auto at = [&](int x, int y) {
+        return rb.nodePowerWatts[static_cast<unsigned>(y * 4 + x)];
+    };
+    std::printf("source (1,2): %.3f W (network max: %s)\n", at(1, 2),
+                at(1, 2) >= pmax ? "yes" : "see map");
+    std::printf("y-first routing: (1,1) = %.3f W, (1,3) = %.3f W vs "
+                "(0,2) = %.3f W, (2,2) = %.3f W\n",
+                at(1, 1), at(1, 3), at(0, 2), at(2, 2));
+
+    // Power vs Manhattan distance from the source.
+    report::Table d;
+    d.title = "mean node power by Manhattan distance from (1,2)";
+    d.headers = {"distance", "nodes", "mean power (W)"};
+    const net::Topology topo({4, 4}, true);
+    const int src = 1 + 2 * 4;
+    for (unsigned dist = 0; dist <= 4; ++dist) {
+        double sum = 0.0;
+        int count = 0;
+        for (int n = 0; n < 16; ++n) {
+            if (topo.manhattanDistance(src, n) == dist) {
+                sum += rb.nodePowerWatts[static_cast<unsigned>(n)];
+                ++count;
+            }
+        }
+        if (count == 0)
+            continue;
+        d.addRow({std::to_string(dist), std::to_string(count),
+                  report::fmt(sum / count, 3)});
+    }
+    std::printf("\n%s", report::formatTable(d).c_str());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 2 reproduction: the FIFO buffer power model.
+ *
+ * Prints, for a sweep of buffer configurations (including every input
+ * buffer the paper's case studies use), the Table 2 quantities:
+ * wordline/bitline lengths, all five capacitances, and the derived
+ * per-operation energies E_read / E_wrt.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "power/buffer_model.hh"
+#include "tech/tech_node.hh"
+
+int
+main()
+{
+    using namespace orion;
+    using orion::report::fmt;
+    using orion::report::fmtEng;
+
+    const tech::TechNode tech = tech::TechNode::onChip100nm();
+
+    struct Config
+    {
+        const char* name;
+        power::BufferParams params;
+    };
+    const std::vector<Config> configs = {
+        {"walkthrough 4x32", {4, 32, 1, 1}},
+        {"VC16 port buffer 16x256", {16, 256, 1, 1}},
+        {"VC64 port buffer 64x256", {64, 256, 1, 1}},
+        {"VC128 port buffer 128x256", {128, 256, 1, 1}},
+        {"WH64 port buffer 64x256", {64, 256, 1, 1}},
+        {"XB VC buffer 4288x32", {4288, 32, 1, 1}},
+        {"CB input FIFO 64x32", {64, 32, 1, 1}},
+        {"CB bank 2560x32 2R2W", {2560, 32, 2, 2}},
+    };
+
+    std::printf("Table 2 — FIFO buffer power model "
+                "(0.1 um, Vdd = %.1f V)\n\n",
+                tech.vdd);
+
+    report::Table t;
+    t.headers = {"configuration", "B",     "F",    "L_wl",  "L_bl",
+                 "C_wl",          "C_br",  "C_bw", "C_chg", "C_cell",
+                 "E_read",        "E_wrt(avg)", "area"};
+    for (const auto& c : configs) {
+        const power::BufferModel m(tech, c.params);
+        t.addRow({
+            c.name,
+            std::to_string(c.params.flits),
+            std::to_string(c.params.flitBits),
+            fmt(m.wordlineLengthUm(), 0) + " um",
+            fmt(m.bitlineLengthUm(), 0) + " um",
+            fmtEng(m.wordlineCap(), "F", 1),
+            fmtEng(m.readBitlineCap(), "F", 1),
+            fmtEng(m.writeBitlineCap(), "F", 1),
+            fmtEng(m.prechargeCap(), "F", 1),
+            fmtEng(m.cellCap(), "F", 1),
+            fmtEng(m.readEnergy(), "J", 2),
+            fmtEng(m.avgWriteEnergy(), "J", 2),
+            fmt(m.areaUm2() / 1e6, 3) + " mm2",
+        });
+    }
+    std::printf("%s\n", report::formatTable(t).c_str());
+
+    // Scaling behaviour: E_read growth with depth at fixed width, the
+    // relationship the WH64-vs-VC16 power comparison rides on.
+    report::Table s;
+    s.title = "E_read scaling with buffer depth (F = 256)";
+    s.headers = {"B (flits)", "E_read", "E_wrt(avg)"};
+    for (const unsigned b : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        const power::BufferModel m(tech, {b, 256, 1, 1});
+        s.addRow({std::to_string(b), fmtEng(m.readEnergy(), "J", 2),
+                  fmtEng(m.avgWriteEnergy(), "J", 2)});
+    }
+    std::printf("%s", report::formatTable(s).c_str());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 3 reproduction: crossbar power models.
+ *
+ * Prints the matrix-crossbar capacitances (C_in, C_out, C_xb_ctr) and
+ * traversal energies for the paper's configurations, plus the
+ * multiplexer-tree alternative the paper also models.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "power/crossbar_model.hh"
+#include "tech/tech_node.hh"
+
+int
+main()
+{
+    using namespace orion;
+    using orion::report::fmt;
+    using orion::report::fmtEng;
+
+    const tech::TechNode tech = tech::TechNode::onChip100nm();
+
+    struct Config
+    {
+        const char* name;
+        power::CrossbarParams params;
+    };
+    const std::vector<Config> configs = {
+        {"walkthrough 5x5x32 matrix",
+         {5, 5, 32, power::CrossbarKind::Matrix, 0.0}},
+        {"on-chip 5x5x256 matrix",
+         {5, 5, 256, power::CrossbarKind::Matrix, 1.08e-12}},
+        {"on-chip 5x5x256 mux-tree",
+         {5, 5, 256, power::CrossbarKind::MuxTree, 1.08e-12}},
+        {"XB 5x5x32 matrix",
+         {5, 5, 32, power::CrossbarKind::Matrix, 0.0}},
+        {"8x8x128 matrix",
+         {8, 8, 128, power::CrossbarKind::Matrix, 0.0}},
+        {"8x8x128 mux-tree",
+         {8, 8, 128, power::CrossbarKind::MuxTree, 0.0}},
+    };
+
+    std::printf("Table 3 — crossbar power models "
+                "(0.1 um, Vdd = %.1f V)\n\n",
+                tech.vdd);
+
+    report::Table t;
+    t.headers = {"configuration", "I", "O",     "W",     "L_in",
+                 "L_out",         "C_in/bit",   "C_out/bit",
+                 "C_xb_ctr",      "E_xb(avg)",  "area"};
+    for (const auto& c : configs) {
+        const power::CrossbarModel m(tech, c.params);
+        t.addRow({
+            c.name,
+            std::to_string(c.params.inputs),
+            std::to_string(c.params.outputs),
+            std::to_string(c.params.width),
+            fmt(m.inputLengthUm(), 0) + " um",
+            fmt(m.outputLengthUm(), 0) + " um",
+            fmtEng(m.inputCap(), "F", 1),
+            fmtEng(m.outputCap(), "F", 1),
+            fmtEng(m.controlCap(), "F", 1),
+            fmtEng(m.avgTraversalEnergy(), "J", 2),
+            fmt(m.areaUm2() / 1e6, 3) + " mm2",
+        });
+    }
+    std::printf("%s\n", report::formatTable(t).c_str());
+
+    report::Table s;
+    s.title = "matrix E_xb scaling with port count (W = 256)";
+    s.headers = {"ports", "E_xb(avg)", "E_xb_ctr"};
+    for (const unsigned p : {2u, 4u, 5u, 8u, 16u}) {
+        const power::CrossbarModel m(
+            tech, {p, p, 256, power::CrossbarKind::Matrix, 0.0});
+        s.addRow({std::to_string(p),
+                  fmtEng(m.avgTraversalEnergy(), "J", 2),
+                  fmtEng(m.controlEnergy(), "J", 2)});
+    }
+    std::printf("%s", report::formatTable(s).c_str());
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Section 3.2 "Validation" reproduction — as far as it can be
+ * reproduced: the paper compared Orion's estimates for two commercial
+ * routers (the Alpha 21364 router and the IBM InfiniBand 8-port 12X
+ * switch) against designers' guesstimates and reported them "within
+ * ballpark", without publishing error margins (the underlying data
+ * was proprietary).
+ *
+ * This harness builds both routers from our component models with
+ * publicly known parameters and prints the resulting power estimates
+ * next to the published reference points:
+ *   - Alpha 21364: integrated router + links = 25 W of a 125 W chip
+ *     (paper Section 1; 0.18 um, 1.2 GHz, ~20 GB/s of links)
+ *   - InfiniBand switch: 15 W of a 40 W Mellanox blade budget; a 12X
+ *     link is 3 W at 30 Gb/s (paper Sections 1 and 4.4)
+ *
+ * Our first-principles capacitances sit below the Cacti-0.8um-derived
+ * values the original used, so the dynamic-core estimates land under
+ * the published figures; link-dominated totals land close. The table
+ * makes the comparison explicit instead of claiming a match.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.hh"
+#include "power/arbiter_model.hh"
+#include "power/buffer_model.hh"
+#include "power/central_buffer_model.hh"
+#include "power/crossbar_model.hh"
+#include "tech/tech_node.hh"
+
+namespace {
+
+using namespace orion;
+using orion::report::fmt;
+using orion::report::fmtEng;
+
+/** Power of one router port stream at the given flit rate. */
+double
+streamPower(double energy_per_flit, double flits_per_cycle,
+            double freq_hz)
+{
+    return energy_per_flit * flits_per_cycle * freq_hz;
+}
+
+} // namespace
+
+int
+main()
+{
+    report::Table t;
+    t.title = "Section 3.2 validation targets";
+    t.headers = {"router", "estimate", "published reference"};
+
+    // --- Alpha 21364-class router -------------------------------
+    // 0.18 um, 1.5 V, 1.2 GHz; 8 ports (4 network + 4 local
+    // cache/memory/IO), 72-bit flits (64 data + ECC), deep per-port
+    // packet buffers (~128 flits), 8x8 crossbar.
+    {
+        const tech::TechNode alpha =
+            tech::TechNode::scaled(0.18, 1.5, 1.2e9);
+        const power::BufferModel buf(alpha, {128, 72, 1, 1});
+        const power::CrossbarModel xbar(
+            alpha, {8, 8, 72, power::CrossbarKind::Matrix, 0.0});
+        const power::ArbiterModel arb(
+            alpha, {7, power::ArbiterKind::Matrix, xbar.controlCap()});
+
+        const double e_flit = buf.avgWriteEnergy() + buf.readEnergy() +
+                              arb.avgArbitrationEnergy() +
+                              xbar.avgTraversalEnergy();
+        // Sustained utilization of a busy multiprocessor fabric port.
+        const double util = 0.35;
+        const double router_core =
+            8.0 * streamPower(e_flit, util, alpha.freqHz);
+        // The 21364 drives ~4 off-chip network links; per the paper's
+        // chip-to-chip accounting these burn constant multi-watt
+        // power. 3 W per link mirrors the Section 4.4 assumption.
+        const double links = 4.0 * 3.0;
+
+        t.addRow({"Alpha 21364-class (8p, 72b, 0.18um, 1.2GHz)",
+                  fmt(router_core, 2) + " W core + " +
+                      fmt(links, 0) + " W links = " +
+                      fmt(router_core + links, 1) + " W",
+                  "router + links = 25 W (of 125 W chip)"});
+        t.addRow({"  per-flit router energy", fmtEng(e_flit, "J", 2),
+                  "(not published)"});
+    }
+
+    // --- IBM InfiniBand 8-port 12X switch-class -----------------
+    // Central-buffered, 8 ports, 32-bit internal flits at 1 GHz-class
+    // core; 8 constant-power 12X links at 3 W.
+    {
+        const tech::TechNode ib = tech::TechNode::chipToChip100nm();
+        const power::CentralBufferModel cbuf(ib,
+                                             {4, 2560, 32, 2, 2, 8, 2});
+        const power::BufferModel fifo(ib, {64, 32, 1, 1});
+        const power::ArbiterModel arb(ib,
+                                      {8, power::ArbiterKind::Matrix,
+                                       0.0});
+
+        const double e_flit = fifo.avgWriteEnergy() +
+                              fifo.readEnergy() +
+                              cbuf.avgWriteEnergy() +
+                              cbuf.avgReadEnergy() +
+                              2.0 * arb.avgArbitrationEnergy();
+        const double util = 0.5; // switches run their links hard
+        const double core = 8.0 * streamPower(e_flit, util, ib.freqHz);
+        const double links = 8.0 * 3.0;
+
+        t.addRow({"InfiniBand 8-port 12X-class (CB, 32b, 1GHz)",
+                  fmt(core, 2) + " W core + " + fmt(links, 0) +
+                      " W links = " + fmt(core + links, 1) + " W",
+                  "switch ~15 W of a 40 W blade; 3 W per 12X link"});
+        t.addRow({"  per-flit switch energy", fmtEng(e_flit, "J", 2),
+                  "(not published)"});
+    }
+
+    std::printf("%s\n", report::formatTable(t).c_str());
+    std::printf(
+        "Reading: link-dominated totals land in the published decade; "
+        "the dynamic cores sit below the\npaper's Cacti-0.8um-scaled "
+        "estimates (see EXPERIMENTS.md note B). The paper itself "
+        "reported only\n\"within ballpark\" against designer "
+        "guesstimates, with no error margins.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Design-space exploration example (the paper's first usage mode,
+ * Figure 3a): sweep VC count and buffer depth of a virtual-channel
+ * router at a fixed area-style budget axis, and report the
+ * power-performance frontier — latency, saturation throughput, power,
+ * and estimated router area — so an architect can pick the optimal
+ * configuration.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/report.hh"
+#include "core/simulation.hh"
+#include "core/sweep.hh"
+#include "power/buffer_model.hh"
+
+int
+main()
+{
+    using namespace orion;
+
+    SimConfig sim;
+    sim.samplePackets = 3000;
+    sim.maxCycles = 200000;
+
+    TrafficConfig traffic;
+    traffic.pattern = net::TrafficPattern::UniformRandom;
+
+    struct Point
+    {
+        unsigned vcs;
+        unsigned depth;
+    };
+    const std::vector<Point> grid = {
+        {1, 16}, {1, 64}, {2, 8}, {2, 16}, {4, 4},
+        {4, 8},  {8, 8},  {8, 16},
+    };
+
+    std::printf("Design-space exploration: VC count x buffer depth on "
+                "the paper's on-chip 4x4 torus\n");
+    std::printf("(256-bit flits, 2 GHz; latency at 0.08 "
+                "pkts/cycle/node; saturation per 2x zero-load)\n\n");
+
+    report::Table t;
+    t.headers = {"vcs",      "depth/vc", "flits/port", "latency@0.08",
+                 "sat rate", "power@0.08 (W)", "buffer area/port"};
+
+    for (const auto& p : grid) {
+        NetworkConfig cfg = NetworkConfig::vc16();
+        if (p.vcs == 1) {
+            cfg = NetworkConfig::wh64();
+            cfg.net.bufferDepth = p.depth;
+        } else {
+            cfg.net.vcs = p.vcs;
+            cfg.net.bufferDepth = p.depth;
+            // Slot-granular bubble needs a whole packet per VC;
+            // shallower VCs fall back to dateline classes.
+            cfg.net.deadlock =
+                p.vcs >= 4 && p.depth >= cfg.net.packetLength
+                    ? router::DeadlockMode::Bubble
+                    : router::DeadlockMode::Dateline;
+        }
+
+        TrafficConfig tr = traffic;
+        tr.injectionRate = 0.08;
+        Simulation s(cfg, tr, sim);
+        const Report r = s.run();
+
+        const auto points = Sweep::overRates(
+            cfg, traffic, sim, {0.10, 0.12, 0.14, 0.16, 0.18});
+        const double zl = Sweep::zeroLoadLatency(cfg, traffic, sim);
+        const double sat = Sweep::saturationRate(points, zl);
+
+        const power::BufferModel buf(
+            cfg.tech,
+            {p.vcs * p.depth, cfg.net.flitBits, 1, 1});
+
+        t.addRow({
+            std::to_string(p.vcs),
+            std::to_string(p.depth),
+            std::to_string(p.vcs * p.depth),
+            r.completed ? report::fmt(r.avgLatencyCycles, 1) : ">sat",
+            sat < 0 ? "> 0.18" : report::fmt(sat, 2),
+            report::fmt(r.networkPowerWatts, 2),
+            report::fmt(buf.areaUm2() / 1e6, 3) + " mm2",
+        });
+    }
+    std::printf("%s", report::formatTable(t).c_str());
+    std::printf("\nReading the frontier: more VCs buy saturation "
+                "headroom at almost no arbiter power cost; deeper\n"
+                "buffers past ~8 flits/VC buy power draw without "
+                "matching throughput (the paper's VC128 lesson).\n");
+    return 0;
+}

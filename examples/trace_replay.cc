@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace-driven workload example.
+ *
+ * The paper (Section 4.3): "Orion can be interfaced with actual
+ * communication traces for more realistic results." This example
+ * synthesizes a bursty producer-consumer trace (a stand-in for a
+ * recorded application trace), writes it in the tool's text format,
+ * loads it back through the public Trace API, and replays it on the
+ * paper's on-chip network — comparing the outcome against a uniform
+ * Bernoulli workload of the same average rate to show why trace
+ * replay matters: bursts create transient queuing that a smooth
+ * synthetic load hides.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/report.hh"
+#include "core/simulation.hh"
+#include "net/trace.hh"
+#include "sim/rng.hh"
+
+int
+main()
+{
+    using namespace orion;
+
+    // 1. Synthesize a bursty trace: every node emits bursts of 8
+    //    packets to one consumer, then goes quiet; average rate
+    //    ~0.05 packets/cycle/node.
+    const std::string path = "/tmp/orion_example_trace.txt";
+    {
+        std::ofstream out(path);
+        out << "# bursty producer-consumer trace: cycle src dst\n";
+        sim::Rng rng(2026);
+        for (int node = 0; node < 16; ++node) {
+            sim::Cycle cycle = 1000 + rng.below(100);
+            while (cycle < 6000) {
+                const int dst = static_cast<int>(rng.below(15));
+                const int fixed_dst = dst >= node ? dst + 1 : dst;
+                for (int b = 0; b < 8; ++b) {
+                    out << cycle << ' ' << node << ' ' << fixed_dst
+                        << '\n';
+                    cycle += 2; // burst: a packet every 2 cycles
+                }
+                cycle += 300 + rng.below(100); // quiet period
+            }
+        }
+    }
+
+    // 2. Load it back through the public API.
+    auto records = std::make_shared<const std::vector<net::TraceRecord>>(
+        net::Trace::load(path));
+    std::printf("trace: %zu packets from %s\n\n", records->size(),
+                path.c_str());
+
+    // 3. Replay on the paper's VC64 network.
+    NetworkConfig cfg = NetworkConfig::vc64();
+    SimConfig sim;
+    sim.samplePackets = records->size();
+    sim.maxCycles = 100000;
+
+    TrafficConfig trace_traffic;
+    trace_traffic.pattern = net::TrafficPattern::Trace;
+    trace_traffic.trace = records;
+    Simulation trace_run(cfg, trace_traffic, sim);
+    const Report rt = trace_run.run();
+
+    // 4. A Bernoulli workload with the same average offered load.
+    const double avg_rate =
+        static_cast<double>(records->size()) / 16.0 / 5000.0;
+    TrafficConfig smooth;
+    smooth.injectionRate = avg_rate;
+    SimConfig sim2 = sim;
+    sim2.samplePackets = 3000;
+    Simulation smooth_run(cfg, smooth, sim2);
+    const Report rs = smooth_run.run();
+
+    report::Table t;
+    t.headers = {"workload",      "avg latency", "p95",
+                 "p99",           "power (W)"};
+    t.addRow({"bursty trace replay",
+              report::fmt(rt.avgLatencyCycles, 1),
+              report::fmt(rt.p95LatencyCycles, 0),
+              report::fmt(rt.p99LatencyCycles, 0),
+              report::fmt(rt.networkPowerWatts, 2)});
+    t.addRow({"smooth Bernoulli, same avg rate",
+              report::fmt(rs.avgLatencyCycles, 1),
+              report::fmt(rs.p95LatencyCycles, 0),
+              report::fmt(rs.p99LatencyCycles, 0),
+              report::fmt(rs.networkPowerWatts, 2)});
+    std::printf("%s", report::formatTable(t).c_str());
+    std::printf("\nBursts inflate the latency tail (p95/p99) well "
+                "beyond what the same average load predicts —\n"
+                "the effect trace replay exists to expose.\n");
+    return 0;
+}

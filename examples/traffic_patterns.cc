@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload exploration example (the paper's second usage mode, Figure
+ * 3b): run one fixed network under every built-in traffic pattern and
+ * compare latency, throughput, total power, and the spatial power
+ * spread — the hot-spotting the paper's Section 4.3 uses to argue for
+ * workload-aware placement and routing.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/report.hh"
+#include "core/simulation.hh"
+
+int
+main()
+{
+    using namespace orion;
+
+    SimConfig sim;
+    sim.samplePackets = 3000;
+    sim.maxCycles = 300000;
+
+    const NetworkConfig net_cfg = NetworkConfig::vc16();
+
+    struct Workload
+    {
+        const char* name;
+        TrafficConfig traffic;
+    };
+    std::vector<Workload> workloads;
+    {
+        TrafficConfig t;
+        t.pattern = net::TrafficPattern::UniformRandom;
+        t.injectionRate = 0.2 / 16.0;
+        workloads.push_back({"uniform random", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::Broadcast;
+        t.injectionRate = 0.2;
+        t.broadcastSource = 1 + 2 * 4;
+        workloads.push_back({"broadcast (1,2)", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::Transpose;
+        t.injectionRate = 0.2 / 16.0;
+        workloads.push_back({"transpose", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::BitComplement;
+        t.injectionRate = 0.2 / 16.0;
+        workloads.push_back({"bit-complement", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::Tornado;
+        t.injectionRate = 0.2 / 16.0;
+        workloads.push_back({"tornado", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::NearestNeighbor;
+        t.injectionRate = 0.2 / 16.0;
+        workloads.push_back({"nearest-neighbour", t});
+
+        t = {};
+        t.pattern = net::TrafficPattern::Hotspot;
+        t.injectionRate = 0.2 / 16.0;
+        t.hotspotNode = 5;
+        t.hotspotFraction = 0.3;
+        workloads.push_back({"hotspot 30% -> (1,1)", t});
+    }
+
+    std::printf("Traffic-pattern exploration on the paper's Section "
+                "4.3 network (4x4 torus, VC 2x8)\n");
+    std::printf("equal total network injection (0.2 packets/cycle) "
+                "for every pattern\n\n");
+
+    report::Table t;
+    t.headers = {"pattern",   "avg latency", "flits/node/cyc",
+                 "power (W)", "node power max/min"};
+    for (auto& w : workloads) {
+        Simulation s(net_cfg, w.traffic, sim);
+        const Report r = s.run();
+        double pmin = 1e30;
+        double pmax = 0.0;
+        for (const double p : r.nodePowerWatts) {
+            pmin = std::min(pmin, p);
+            pmax = std::max(pmax, p);
+        }
+        t.addRow({
+            w.name,
+            r.completed ? report::fmt(r.avgLatencyCycles, 1) : ">cap",
+            report::fmt(r.acceptedFlitsPerNodePerCycle, 3),
+            report::fmt(r.networkPowerWatts, 3),
+            report::fmt(pmax / pmin, 2),
+        });
+    }
+    std::printf("%s", report::formatTable(t).c_str());
+    std::printf("\nThe max/min column is the paper's Figure 6 story "
+                "in one number: uniform traffic keeps the power\n"
+                "map flat, while broadcast and hotspot patterns "
+                "concentrate several times the power in a few\n"
+                "nodes — input for placement/routing decisions.\n");
+    return 0;
+}

@@ -1,0 +1,394 @@
+#include "core/cli.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <cstdio>
+
+#include "core/report.hh"
+#include "core/sweep.hh"
+#include "net/trace.hh"
+
+namespace orion::cli {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& what)
+{
+    throw std::invalid_argument("orion_sim: " + what +
+                                " (--help for usage)");
+}
+
+unsigned long long
+parseU64(const std::string& opt, const std::string& v)
+{
+    // stoull silently wraps negative inputs; reject them explicitly.
+    if (!v.empty() && v.front() == '-')
+        fail(opt + ": must be non-negative: '" + v + "'");
+    try {
+        std::size_t used = 0;
+        const unsigned long long n = std::stoull(v, &used);
+        if (used != v.size())
+            fail(opt + ": not a number: '" + v + "'");
+        return n;
+    } catch (const std::invalid_argument&) {
+        fail(opt + ": not a number: '" + v + "'");
+    } catch (const std::out_of_range&) {
+        fail(opt + ": out of range: '" + v + "'");
+    }
+}
+
+double
+parseDouble(const std::string& opt, const std::string& v)
+{
+    try {
+        std::size_t used = 0;
+        const double d = std::stod(v, &used);
+        if (used != v.size())
+            fail(opt + ": not a number: '" + v + "'");
+        return d;
+    } catch (const std::invalid_argument&) {
+        fail(opt + ": not a number: '" + v + "'");
+    } catch (const std::out_of_range&) {
+        fail(opt + ": out of range: '" + v + "'");
+    }
+}
+
+std::vector<unsigned>
+parseDims(const std::string& v)
+{
+    std::vector<unsigned> dims;
+    std::string part;
+    std::istringstream in(v);
+    while (std::getline(in, part, 'x')) {
+        if (part.empty())
+            fail("--dims: malformed '" + v + "'");
+        dims.push_back(
+            static_cast<unsigned>(parseU64("--dims", part)));
+    }
+    if (dims.empty())
+        fail("--dims: malformed '" + v + "'");
+    return dims;
+}
+
+NetworkConfig
+presetByName(const std::string& name)
+{
+    if (name == "wh64")
+        return NetworkConfig::wh64();
+    if (name == "vc16")
+        return NetworkConfig::vc16();
+    if (name == "vc64")
+        return NetworkConfig::vc64();
+    if (name == "vc128")
+        return NetworkConfig::vc128();
+    if (name == "xb")
+        return NetworkConfig::xb();
+    if (name == "cb")
+        return NetworkConfig::cb();
+    fail("--preset: unknown preset '" + name + "'");
+}
+
+net::TrafficPattern
+patternByName(const std::string& name)
+{
+    if (name == "uniform")
+        return net::TrafficPattern::UniformRandom;
+    if (name == "broadcast")
+        return net::TrafficPattern::Broadcast;
+    if (name == "transpose")
+        return net::TrafficPattern::Transpose;
+    if (name == "bitcomp")
+        return net::TrafficPattern::BitComplement;
+    if (name == "tornado")
+        return net::TrafficPattern::Tornado;
+    if (name == "neighbor")
+        return net::TrafficPattern::NearestNeighbor;
+    if (name == "hotspot")
+        return net::TrafficPattern::Hotspot;
+    if (name == "trace")
+        return net::TrafficPattern::Trace;
+    fail("--pattern: unknown pattern '" + name + "'");
+}
+
+router::DeadlockMode
+deadlockByName(const std::string& name)
+{
+    if (name == "none")
+        return router::DeadlockMode::None;
+    if (name == "bubble")
+        return router::DeadlockMode::Bubble;
+    if (name == "dateline")
+        return router::DeadlockMode::Dateline;
+    fail("--deadlock: unknown mode '" + name + "'");
+}
+
+} // namespace
+
+Options
+parse(const std::vector<std::string>& args)
+{
+    Options o;
+    o.traffic.injectionRate = 0.05;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        const auto value = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fail(a + ": missing value");
+            return args[++i];
+        };
+
+        if (a == "--help" || a == "-h") {
+            o.helpRequested = true;
+            return o;
+        } else if (a == "--preset") {
+            o.network = presetByName(value());
+        } else if (a == "--dims") {
+            o.network.net.dims = parseDims(value());
+        } else if (a == "--mesh") {
+            o.network.net.wrap = false;
+            o.network.net.deadlock = router::DeadlockMode::None;
+        } else if (a == "--vcs") {
+            o.network.net.vcs =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--buffer") {
+            o.network.net.bufferDepth =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--flit-bits") {
+            o.network.net.flitBits =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--packet-length") {
+            o.network.net.packetLength =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--deadlock") {
+            o.network.net.deadlock = deadlockByName(value());
+        } else if (a == "--speculative") {
+            o.network.net.speculative = true;
+        } else if (a == "--arbiter") {
+            const std::string& v = value();
+            if (v == "matrix")
+                o.network.net.arbiterKind = router::ArbiterKind::Matrix;
+            else if (v == "rr")
+                o.network.net.arbiterKind =
+                    router::ArbiterKind::RoundRobin;
+            else if (v == "queuing")
+                o.network.net.arbiterKind =
+                    router::ArbiterKind::Queuing;
+            else
+                fail("--arbiter: unknown kind '" + v + "'");
+        } else if (a == "--injection") {
+            const std::string& v = value();
+            if (v == "single")
+                o.network.net.injection =
+                    net::InjectionPolicy::SingleVc;
+            else if (v == "spread")
+                o.network.net.injection =
+                    net::InjectionPolicy::SpreadVcs;
+            else
+                fail("--injection: unknown policy '" + v + "'");
+        } else if (a == "--tie-break") {
+            const std::string& v = value();
+            if (v == "random")
+                o.network.net.tieBreak = net::TieBreak::Random;
+            else if (v == "prefer-wrap")
+                o.network.net.tieBreak = net::TieBreak::PreferWrap;
+            else
+                fail("--tie-break: unknown policy '" + v + "'");
+        } else if (a == "--pattern") {
+            o.traffic.pattern = patternByName(value());
+        } else if (a == "--rate") {
+            o.traffic.injectionRate = parseDouble(a, value());
+        } else if (a == "--broadcast-source") {
+            o.traffic.broadcastSource =
+                static_cast<int>(parseU64(a, value()));
+        } else if (a == "--hotspot") {
+            o.traffic.hotspotNode =
+                static_cast<int>(parseU64(a, value()));
+        } else if (a == "--hotspot-frac") {
+            o.traffic.hotspotFraction = parseDouble(a, value());
+        } else if (a == "--trace") {
+            o.traffic.trace = std::make_shared<
+                const std::vector<net::TraceRecord>>(
+                net::Trace::load(value()));
+        } else if (a == "--sample") {
+            o.sim.samplePackets = parseU64(a, value());
+        } else if (a == "--warmup") {
+            o.sim.warmupCycles = parseU64(a, value());
+        } else if (a == "--max-cycles") {
+            o.sim.maxCycles = parseU64(a, value());
+        } else if (a == "--seed") {
+            o.sim.seed = parseU64(a, value());
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--breakdown") {
+            o.breakdown = true;
+        } else {
+            fail("unknown option '" + a + "'");
+        }
+    }
+
+    // Cross-field checks happen in the library validators; run them
+    // here so errors surface before the (possibly long) run starts.
+    o.network.validate();
+    validateTraffic(o.network, o.traffic);
+    return o;
+}
+
+std::vector<double>
+parseRateSpec(const std::string& spec)
+{
+    double first = 0.0;
+    double last = 0.0;
+    unsigned count = 0;
+    char tail = 0;
+    if (std::sscanf(spec.c_str(), "%lf:%lf:%u%c", &first, &last,
+                    &count, &tail) != 3 ||
+        first <= 0.0 || last < first || count < 2) {
+        throw std::invalid_argument(
+            "rate spec wants FIRST:LAST:COUNT with 0 < FIRST <= LAST "
+            "and COUNT >= 2: '" +
+            spec + "'");
+    }
+    return Sweep::linspace(first, last, count);
+}
+
+std::string
+usage()
+{
+    return "usage: orion_sim [options]\n"
+           "\n"
+           "network (defaults to --preset vc16):\n"
+           "  --preset wh64|vc16|vc64|vc128|xb|cb   paper presets\n"
+           "  --dims KxK[xK]       topology radices (default 4x4)\n"
+           "  --mesh               mesh instead of torus\n"
+           "  --vcs N              virtual channels per port\n"
+           "  --buffer N           buffer depth per VC (flits)\n"
+           "  --flit-bits N        flit width\n"
+           "  --packet-length N    flits per packet\n"
+           "  --deadlock none|bubble|dateline\n"
+           "  --speculative        2-stage speculative VC pipeline\n"
+           "  --arbiter matrix|rr|queuing\n"
+           "  --injection single|spread   source VC policy\n"
+           "  --tie-break random|prefer-wrap\n"
+           "\n"
+           "workload:\n"
+           "  --pattern uniform|broadcast|transpose|bitcomp|tornado|"
+           "neighbor|hotspot|trace\n"
+           "  --rate R             packets/cycle/node (default 0.05)\n"
+           "  --broadcast-source N --hotspot N --hotspot-frac F\n"
+           "  --trace FILE         trace file ('cycle src dst' lines)\n"
+           "\n"
+           "measurement (paper defaults):\n"
+           "  --sample N           sample packets (default 10000)\n"
+           "  --warmup N           warm-up cycles (default 1000)\n"
+           "  --max-cycles N       cycle cap (default 1000000)\n"
+           "  --seed N             RNG seed (default 1)\n"
+           "\n"
+           "output:\n"
+           "  --csv                machine-readable one-row CSV\n"
+           "  --breakdown          per-node power map + event counts\n";
+}
+
+std::string
+formatReport(const Options& opts, const Report& r)
+{
+    std::ostringstream out;
+    out << "orion_sim run summary\n";
+    out << "  status            : "
+        << (r.completed
+                ? "completed"
+                : (r.deadlockSuspected ? "DEADLOCK suspected"
+                                       : "cycle cap reached"))
+        << "\n";
+    out << "  cycles            : " << r.totalCycles << " ("
+        << r.measuredCycles << " measured)\n";
+    out << "  sample packets    : " << r.sampleEjected << "/"
+        << r.sampleInjected << "\n";
+    out << "  offered load      : " << report::fmt(r.offeredLoad, 4)
+        << " pkts/cycle/node\n";
+    out << "  throughput        : "
+        << report::fmt(r.acceptedFlitsPerNodePerCycle, 4)
+        << " flits/node/cycle\n";
+    out << "  latency mean      : "
+        << report::fmt(r.avgLatencyCycles, 2) << " cycles\n";
+    out << "  latency p50/95/99 : "
+        << report::fmt(r.p50LatencyCycles, 0) << " / "
+        << report::fmt(r.p95LatencyCycles, 0) << " / "
+        << report::fmt(r.p99LatencyCycles, 0) << " cycles\n";
+    out << "  network power     : "
+        << report::fmt(r.networkPowerWatts, 3) << " W\n";
+    out << "    buffers         : "
+        << report::fmt(r.breakdownWatts.buffer, 3) << " W\n";
+    out << "    crossbars       : "
+        << report::fmt(r.breakdownWatts.crossbar, 3) << " W\n";
+    out << "    arbiters        : "
+        << report::fmt(r.breakdownWatts.arbiter, 4) << " W\n";
+    out << "    central buffers : "
+        << report::fmt(r.breakdownWatts.centralBuffer, 3) << " W\n";
+    out << "    links           : "
+        << report::fmt(r.breakdownWatts.link, 3) << " W\n";
+
+    if (opts.breakdown) {
+        const auto& dims = opts.network.net.dims;
+        if (dims.size() == 2) {
+            report::Table map;
+            map.title = "per-node power (W)";
+            map.headers = {"y\\x"};
+            for (unsigned x = 0; x < dims[0]; ++x)
+                map.headers.push_back(std::to_string(x));
+            for (unsigned yy = dims[1]; yy-- > 0;) {
+                std::vector<std::string> row{std::to_string(yy)};
+                for (unsigned x = 0; x < dims[0]; ++x) {
+                    row.push_back(report::fmt(
+                        r.nodePowerWatts[yy * dims[0] + x], 3));
+                }
+                map.addRow(std::move(row));
+            }
+            out << report::formatTable(map);
+        }
+
+        report::Table ev;
+        ev.title = "event counts (measurement window)";
+        ev.headers = {"event", "count"};
+        for (unsigned t = 0; t < sim::kNumEventTypes; ++t) {
+            ev.addRow({sim::eventTypeName(
+                           static_cast<sim::EventType>(t)),
+                       std::to_string(r.eventCounts[t])});
+        }
+        out << report::formatTable(ev);
+    }
+    return out.str();
+}
+
+std::string
+formatCsvReport(const Options& opts, const Report& r)
+{
+    report::Table t;
+    t.headers = {"rate",          "completed",  "deadlock",
+                 "cycles",        "latency",    "p50",
+                 "p95",           "p99",        "throughput",
+                 "power_w",       "buffer_w",   "crossbar_w",
+                 "arbiter_w",     "cbuffer_w",  "link_w"};
+    t.addRow({
+        report::fmt(opts.traffic.injectionRate, 4),
+        r.completed ? "1" : "0",
+        r.deadlockSuspected ? "1" : "0",
+        std::to_string(r.measuredCycles),
+        report::fmt(r.avgLatencyCycles, 3),
+        report::fmt(r.p50LatencyCycles, 0),
+        report::fmt(r.p95LatencyCycles, 0),
+        report::fmt(r.p99LatencyCycles, 0),
+        report::fmt(r.acceptedFlitsPerNodePerCycle, 4),
+        report::fmt(r.networkPowerWatts, 4),
+        report::fmt(r.breakdownWatts.buffer, 4),
+        report::fmt(r.breakdownWatts.crossbar, 4),
+        report::fmt(r.breakdownWatts.arbiter, 5),
+        report::fmt(r.breakdownWatts.centralBuffer, 4),
+        report::fmt(r.breakdownWatts.link, 4),
+    });
+    return report::formatCsv(t);
+}
+
+} // namespace orion::cli

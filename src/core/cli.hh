@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Command-line front end: turns argv-style options into a validated
+ * (NetworkConfig, TrafficConfig, SimConfig) triple and renders run
+ * reports. Lives in the library (rather than the tool's main) so the
+ * parsing logic is unit-testable.
+ *
+ * Supported options (see usage() for the full text):
+ *   --preset wh64|vc16|vc64|vc128|xb|cb
+ *   --dims KxK[xK]          --mesh
+ *   --vcs N --buffer N --flit-bits N --packet-length N
+ *   --deadlock none|bubble|dateline
+ *   --pattern uniform|broadcast|transpose|bitcomp|tornado|neighbor|
+ *             hotspot|trace
+ *   --rate R --broadcast-source N --hotspot N --hotspot-frac F
+ *   --trace FILE
+ *   --sample N --warmup N --max-cycles N --seed N
+ *   --csv
+ */
+
+#ifndef ORION_CORE_CLI_HH
+#define ORION_CORE_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulation.hh"
+
+namespace orion::cli {
+
+/** Everything a parsed command line describes. */
+struct Options
+{
+    NetworkConfig network = NetworkConfig::vc16();
+    TrafficConfig traffic;
+    SimConfig sim;
+    /** Emit machine-readable CSV instead of the text report. */
+    bool csv = false;
+    /** Append the per-node power map and event counts (text mode). */
+    bool breakdown = false;
+    /** --help was requested: print usage() and exit successfully. */
+    bool helpRequested = false;
+};
+
+/**
+ * Parse @p args (without argv[0]). Throws std::invalid_argument with
+ * a user-facing message on unknown options or malformed values.
+ */
+Options parse(const std::vector<std::string>& args);
+
+/** The usage/help text. */
+std::string usage();
+
+/** Render @p report as the human-readable run summary. */
+std::string formatReport(const Options& opts, const Report& report);
+
+/** Render @p report as one CSV header + one data row. */
+std::string formatCsvReport(const Options& opts, const Report& report);
+
+/**
+ * Parse a "FIRST:LAST:COUNT" rate-sweep specification into evenly
+ * spaced rates. Throws std::invalid_argument on malformed or
+ * non-increasing specs.
+ */
+std::vector<double> parseRateSpec(const std::string& spec);
+
+} // namespace orion::cli
+
+#endif // ORION_CORE_CLI_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Top-level Orion configuration: network/traffic/simulation parameter
+ * bundles, plus named presets for every router configuration the
+ * paper's case studies evaluate (Sections 4.2 and 4.4).
+ */
+
+#ifndef ORION_CORE_CONFIG_HH
+#define ORION_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "net/network.hh"
+#include "net/power_monitor.hh"
+#include "net/traffic.hh"
+#include "power/arbiter_model.hh"
+#include "power/crossbar_model.hh"
+#include "tech/tech_node.hh"
+
+namespace orion {
+
+/** Link regime (paper Sections 4.2 vs 4.4). */
+enum class LinkType
+{
+    /** Capacitive on-chip wires: power tracks switching activity. */
+    OnChip,
+    /** Differential chip-to-chip links: constant power per link. */
+    ChipToChip,
+};
+
+/**
+ * Physical organization of an input port's buffering, which sets the
+ * SRAM array geometry the buffer power model sees.
+ *
+ * PerPort: all VCs share one array (B = vcs x depth) — the natural
+ * layout for a few shallow VCs (the paper's VC16/VC64/VC128), and what
+ * makes WH64's deep buffer costlier per access than VC16's.
+ *
+ * PerVc: each VC is its own array (B = depth) — the only sane layout
+ * for many deep VCs (the XB router's 16 x 268 flits), and what makes
+ * XB's per-access energy far smaller than the central buffer's
+ * 2560-row banks (Figure 7's power ordering).
+ */
+enum class BufferOrganization
+{
+    PerPort,
+    PerVc,
+};
+
+/** Full network configuration (structure + power-model knobs). */
+struct NetworkConfig
+{
+    /** Structural parameters (topology, router, buffers). */
+    net::NetworkParams net;
+    /** Technology node (supplies Vdd, f_clk, capacitances). */
+    tech::TechNode tech = tech::TechNode::onChip100nm();
+    LinkType linkType = LinkType::OnChip;
+    /** Physical link length for on-chip links (3 mm on the paper's
+     * 12 mm x 12 mm 16-node chip). */
+    double linkLengthUm = 3000.0;
+    /** Constant power per chip-to-chip link (3 W per the IBM 12X). */
+    double c2cLinkPowerWatts = 3.0;
+    power::CrossbarKind crossbarKind = power::CrossbarKind::Matrix;
+    BufferOrganization bufferOrg = BufferOrganization::PerPort;
+
+    /**
+     * Instantiate the component power models this configuration
+     * implies (Table 2-4 models parameterized by the router design).
+     */
+    net::PowerModelSet buildModels() const;
+
+    /**
+     * Check structural consistency (port/VC/buffer constraints, the
+     * deadlock disciplines' requirements, central-buffer geometry).
+     * Throws std::invalid_argument with a descriptive message.
+     * Simulation's constructor calls this; call it directly to
+     * validate user-supplied configurations early.
+     */
+    void validate() const;
+
+    /// @name Paper presets
+    /// @{
+    /** Section 4.2: wormhole, 64-flit buffer/port, on-chip. */
+    static NetworkConfig wh64();
+    /** Section 4.2: 2 VCs x 8 flits, on-chip. */
+    static NetworkConfig vc16();
+    /** Section 4.2: 8 VCs x 8 flits, on-chip. */
+    static NetworkConfig vc64();
+    /** Section 4.2: 8 VCs x 16 flits, on-chip. */
+    static NetworkConfig vc128();
+    /** Section 4.4: input-buffered crossbar router, 16 VCs x 268
+     * flits, 32-bit flits, chip-to-chip. */
+    static NetworkConfig xb();
+    /** Section 4.4: central-buffered router, 4 banks x 2560 rows,
+     * 64-flit input FIFOs, chip-to-chip. */
+    static NetworkConfig cb();
+    /// @}
+};
+
+/** Workload configuration (re-exported from the net layer). */
+using TrafficConfig = net::TrafficParams;
+
+/**
+ * Check a workload against a network configuration (rates in range,
+ * referenced nodes exist, trace supplied when required). Throws
+ * std::invalid_argument on violation.
+ */
+void validateTraffic(const NetworkConfig& network,
+                     const TrafficConfig& traffic);
+
+/** Simulation control (paper Section 4.1 protocol). */
+struct SimConfig
+{
+    /** Warm-up cycles before measurement (paper: 1000). */
+    sim::Cycle warmupCycles = 1000;
+    /** Packets in the measurement sample (paper: 10,000). */
+    std::uint64_t samplePackets = 10000;
+    /** Hard cycle cap after warm-up. */
+    sim::Cycle maxCycles = 1000000;
+    /** Progress-watchdog window: if no flit moves for this many
+     * cycles while packets are in flight, the run is declared
+     * deadlocked/saturated and stopped. */
+    sim::Cycle watchdogCycles = 5000;
+    /** RNG seed (runs are fully deterministic given a seed). */
+    std::uint64_t seed = 1;
+};
+
+} // namespace orion
+
+#endif // ORION_CORE_CONFIG_HH

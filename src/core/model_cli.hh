@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Standalone power-model query front end.
+ *
+ * The paper (Section 3.2): "We will be distributing our power models
+ * ... either as a separate power analysis tool, or as a plug-in to
+ * other network simulators." orion_models is that separate tool: it
+ * evaluates one Table 2-4 component model for arbitrary parameters
+ * and prints its capacitances, per-operation energies and area.
+ *
+ * Grammar (argv after the program name):
+ *   buffer          --flits B --bits F [--read-ports N]
+ *                   [--write-ports N]
+ *   crossbar        --inputs I --outputs O --width W [--mux-tree]
+ *                   [--load-ff F]
+ *   arbiter         --requests R [--kind matrix|rr|queuing]
+ *   central-buffer  --banks N --rows N --bits F [--read-ports N]
+ *                   [--write-ports N] [--router-ports N]
+ *   link            --length-um L --width W
+ *   c2c-link        [--watts W]
+ * common options:   --feature-um F --vdd V --freq-ghz G --csv
+ */
+
+#ifndef ORION_CORE_MODEL_CLI_HH
+#define ORION_CORE_MODEL_CLI_HH
+
+#include <string>
+#include <vector>
+
+namespace orion::cli {
+
+/**
+ * Evaluate one model query and return its rendered table (text, or
+ * CSV when --csv is given). Throws std::invalid_argument with a
+ * user-facing message on bad input. An empty/--help query returns the
+ * usage text.
+ */
+std::string runModelQuery(const std::vector<std::string>& args);
+
+/** The usage/help text for orion_models. */
+std::string modelUsage();
+
+} // namespace orion::cli
+
+#endif // ORION_CORE_MODEL_CLI_HH

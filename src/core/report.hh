@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text-table and CSV emission helpers used by the benchmark harnesses
+ * to print the rows/series of the paper's tables and figures.
+ */
+
+#ifndef ORION_CORE_REPORT_HH
+#define ORION_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace orion::report {
+
+/** A table: a header row plus data rows of equal arity. */
+struct Table
+{
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+
+    void addRow(std::vector<std::string> row);
+};
+
+/** Render @p table as an aligned, boxed text table. */
+std::string formatTable(const Table& table);
+
+/** Render @p table as CSV (header row first). */
+std::string formatCsv(const Table& table);
+
+/** Fixed-precision double formatting. */
+std::string fmt(double v, int precision = 3);
+
+/** Engineering formatting with a unit (e.g. 1.23e-12 -> "1.23 pJ"). */
+std::string fmtEng(double v, const char* unit, int precision = 3);
+
+} // namespace orion::report
+
+#endif // ORION_CORE_REPORT_HH

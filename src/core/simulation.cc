@@ -1,0 +1,147 @@
+#include "core/simulation.hh"
+
+#include <cassert>
+
+namespace orion {
+
+Simulation::Simulation(const NetworkConfig& network,
+                       const TrafficConfig& traffic, const SimConfig& sim)
+    : netCfg_(network), trafficCfg_(traffic), simCfg_(sim)
+{
+    netCfg_.validate();
+    validateTraffic(netCfg_, trafficCfg_);
+    network_ = std::make_unique<net::Network>(sim_, netCfg_.net,
+                                              trafficCfg_, simCfg_.seed);
+    // Every node of a torus has the same outgoing link count; meshes
+    // vary per node, so use the maximum (corner effects are small and
+    // only matter for constant-power chip-to-chip links).
+    const unsigned links_per_node = network_->linksFrom(0);
+    monitor_ = std::make_unique<net::PowerMonitor>(
+        sim_.bus(), netCfg_.buildModels(),
+        network_->topology().numNodes(), links_per_node);
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::step(sim::Cycle cycles)
+{
+    sim_.run(cycles);
+}
+
+Report
+Simulation::run()
+{
+    // Phase 1: warm-up (traffic flows, nothing is measured).
+    sim_.run(simCfg_.warmupCycles);
+
+    // Phase 2: open the sample window and measure energy from here on.
+    monitor_->reset();
+    network_->resetFlitCounts();
+    auto& shared = network_->shared();
+    shared.sampling = true;
+    shared.sampleRemaining = simCfg_.samplePackets;
+    const sim::Cycle measure_start = sim_.now();
+
+    // Phase 3: run until every sample packet has been received, with a
+    // progress watchdog (no flit motion while packets are in flight =>
+    // deadlock / pathological saturation).
+    bool completed = false;
+    bool deadlocked = false;
+    sim::Cycle elapsed = 0;
+    std::uint64_t last_flits = 0;
+    std::uint64_t last_reads = 0;
+
+    const auto done = [&] {
+        return shared.sampleRemaining == 0 &&
+               shared.sampleEjected >= shared.sampleInjected &&
+               shared.sampleInjected >= simCfg_.samplePackets;
+    };
+
+    while (elapsed < simCfg_.maxCycles) {
+        const sim::Cycle chunk =
+            std::min<sim::Cycle>(simCfg_.watchdogCycles,
+                                 simCfg_.maxCycles - elapsed);
+        if (sim_.runUntil(done, chunk)) {
+            completed = true;
+            break;
+        }
+        elapsed += chunk;
+
+        const std::uint64_t flits = network_->totalFlitsEjected();
+        const std::uint64_t reads =
+            monitor_->eventCount(sim::EventType::BufferRead) +
+            monitor_->eventCount(sim::EventType::CentralBufferRead);
+        if (flits == last_flits && reads == last_reads &&
+            network_->inFlight() > 0) {
+            deadlocked = true;
+            break;
+        }
+        last_flits = flits;
+        last_reads = reads;
+    }
+
+    // Phase 4: assemble the report.
+    Report r;
+    const sim::Cycle measured = sim_.now() - measure_start;
+    r.totalCycles = sim_.now();
+    r.measuredCycles = measured;
+    r.completed = completed;
+    r.deadlockSuspected = deadlocked;
+    r.moduleCount = sim_.moduleCount();
+
+    r.avgLatencyCycles = shared.sampleLatency.mean();
+    r.p50LatencyCycles = shared.sampleLatencyHist.quantile(0.50);
+    r.p95LatencyCycles = shared.sampleLatencyHist.quantile(0.95);
+    r.p99LatencyCycles = shared.sampleLatencyHist.quantile(0.99);
+    r.maxLatencyCycles = shared.sampleLatency.max();
+    r.sampleInjected = shared.sampleInjected;
+    r.sampleEjected = shared.sampleEjected;
+    r.offeredLoad = trafficCfg_.injectionRate;
+
+    const unsigned n = network_->topology().numNodes();
+    const double cycles = measured > 0 ? static_cast<double>(measured)
+                                       : 1.0;
+    r.acceptedFlitsPerNodePerCycle =
+        static_cast<double>(network_->totalFlitsEjected()) / cycles / n;
+
+    r.networkPowerWatts = monitor_->networkPower(cycles);
+    r.dynamicEnergyJoules = monitor_->totalEnergy();
+    const double flits_delivered =
+        static_cast<double>(network_->totalFlitsEjected());
+    r.energyPerFlitJoules =
+        flits_delivered > 0.0 ? r.dynamicEnergyJoules / flits_delivered
+                              : 0.0;
+    r.breakdownWatts.buffer =
+        monitor_->classPower(net::ComponentClass::Buffer, cycles);
+    r.breakdownWatts.crossbar =
+        monitor_->classPower(net::ComponentClass::Crossbar, cycles);
+    r.breakdownWatts.arbiter =
+        monitor_->classPower(net::ComponentClass::Arbiter, cycles);
+    r.breakdownWatts.link =
+        monitor_->classPower(net::ComponentClass::Link, cycles);
+    r.breakdownWatts.centralBuffer =
+        monitor_->classPower(net::ComponentClass::CentralBuffer, cycles);
+
+    r.nodePowerWatts.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        r.nodePowerWatts[i] =
+            monitor_->nodePower(static_cast<int>(i), cycles);
+    }
+
+    for (unsigned t = 0; t < sim::kNumEventTypes; ++t) {
+        r.eventCounts[t] =
+            monitor_->eventCount(static_cast<sim::EventType>(t));
+    }
+    // Packet events are not routed through the monitor; take them from
+    // the bus (counted since construction — injection/ejection events
+    // during warm-up included by design).
+    r.eventCounts[static_cast<unsigned>(sim::EventType::PacketInjected)] =
+        sim_.bus().emittedCount(sim::EventType::PacketInjected);
+    r.eventCounts[static_cast<unsigned>(sim::EventType::PacketEjected)] =
+        sim_.bus().emittedCount(sim::EventType::PacketEjected);
+
+    return r;
+}
+
+} // namespace orion

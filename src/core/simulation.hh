@@ -1,0 +1,135 @@
+/**
+ * @file
+ * orion::Simulation — the top-level run loop implementing the paper's
+ * Section 4.1 measurement protocol:
+ *
+ *  "Each simulation is run for a warm-up phase of 1000 cycles with
+ *   10,000 packets injected thereafter and the simulation continued at
+ *   the prescribed packet injection rate till these packets in the
+ *   sample space have all been received, and their average latency
+ *   calculated. ... The simulator records energy consumption of each
+ *   component of a node over the entire simulation excluding the first
+ *   1000 cycles. Average power is then computed by multiplying the
+ *   total energy by frequency and then dividing by total simulation
+ *   cycles."
+ */
+
+#ifndef ORION_CORE_SIMULATION_HH
+#define ORION_CORE_SIMULATION_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "net/network.hh"
+#include "net/power_monitor.hh"
+#include "sim/simulator.hh"
+
+namespace orion {
+
+/** Per-component-class average power, in watts. */
+struct PowerBreakdown
+{
+    double buffer = 0.0;
+    double crossbar = 0.0;
+    double arbiter = 0.0;
+    double link = 0.0;
+    double centralBuffer = 0.0;
+
+    double
+    total() const
+    {
+        return buffer + crossbar + arbiter + link + centralBuffer;
+    }
+};
+
+/** Everything one simulation run reports. */
+struct Report
+{
+    /// @name Performance
+    /// @{
+    /** Mean latency of sample packets, in cycles (creation to tail
+     * ejection, source queuing included). */
+    double avgLatencyCycles = 0.0;
+    /** Latency distribution quantiles of the sample (cycles). */
+    double p50LatencyCycles = 0.0;
+    double p95LatencyCycles = 0.0;
+    double p99LatencyCycles = 0.0;
+    /** Worst sample-packet latency observed (cycles). */
+    double maxLatencyCycles = 0.0;
+    std::uint64_t sampleInjected = 0;
+    std::uint64_t sampleEjected = 0;
+    /** Offered load: packets/cycle/injecting-node. */
+    double offeredLoad = 0.0;
+    /** Accepted throughput: flits/cycle/node over the window. */
+    double acceptedFlitsPerNodePerCycle = 0.0;
+    /// @}
+
+    /// @name Run metadata
+    /// @{
+    sim::Cycle totalCycles = 0;
+    sim::Cycle measuredCycles = 0;
+    /** True if every sample packet arrived before the cycle cap. */
+    bool completed = false;
+    /** True if the progress watchdog fired (deadlock or total
+     * saturation collapse). */
+    bool deadlockSuspected = false;
+    std::size_t moduleCount = 0;
+    /// @}
+
+    /// @name Power (measurement window only)
+    /// @{
+    double networkPowerWatts = 0.0;
+    /** Dynamic (event-driven) energy over the window, joules —
+     * excludes constant chip-to-chip link power. */
+    double dynamicEnergyJoules = 0.0;
+    /** Dynamic energy per delivered flit (J/flit); the efficiency
+     * number energy-proportional designs optimize. */
+    double energyPerFlitJoules = 0.0;
+    PowerBreakdown breakdownWatts;
+    /** Average power per node, for spatial maps (paper Figure 6). */
+    std::vector<double> nodePowerWatts;
+    /// @}
+
+    /// @name Event counts over the measurement window
+    /// @{
+    std::array<std::uint64_t, sim::kNumEventTypes> eventCounts{};
+    /// @}
+};
+
+/** One configured network + workload, runnable once. */
+class Simulation
+{
+  public:
+    Simulation(const NetworkConfig& network, const TrafficConfig& traffic,
+               const SimConfig& sim);
+    ~Simulation();
+
+    /** Execute the full warm-up/sample/drain protocol. */
+    Report run();
+
+    /** Advance the network @p cycles cycles (for custom protocols). */
+    void step(sim::Cycle cycles);
+
+    /// @name Component access (examples, tests, custom studies)
+    /// @{
+    net::Network& network() { return *network_; }
+    net::PowerMonitor& monitor() { return *monitor_; }
+    sim::Simulator& simulator() { return sim_; }
+    const NetworkConfig& networkConfig() const { return netCfg_; }
+    /// @}
+
+  private:
+    NetworkConfig netCfg_;
+    TrafficConfig trafficCfg_;
+    SimConfig simCfg_;
+
+    sim::Simulator sim_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<net::PowerMonitor> monitor_;
+};
+
+} // namespace orion
+
+#endif // ORION_CORE_SIMULATION_HH

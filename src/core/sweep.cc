@@ -1,0 +1,106 @@
+#include "core/sweep.hh"
+
+#include <cassert>
+
+namespace orion {
+
+std::vector<SweepPoint>
+Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
+                 const SimConfig& sim, const std::vector<double>& rates)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(rates.size());
+    for (const double rate : rates) {
+        TrafficConfig t = traffic;
+        t.injectionRate = rate;
+        Simulation s(network, t, sim);
+        points.push_back({rate, s.run()});
+    }
+    return points;
+}
+
+std::vector<AveragedPoint>
+Sweep::overRatesAveraged(const NetworkConfig& network,
+                         const TrafficConfig& traffic,
+                         const SimConfig& sim,
+                         const std::vector<double>& rates,
+                         unsigned num_seeds)
+{
+    assert(num_seeds >= 1);
+    std::vector<AveragedPoint> points;
+    points.reserve(rates.size());
+    for (const double rate : rates) {
+        AveragedPoint avg;
+        avg.injectionRate = rate;
+        avg.seeds = num_seeds;
+        avg.allCompleted = true;
+        for (unsigned k = 0; k < num_seeds; ++k) {
+            TrafficConfig t = traffic;
+            t.injectionRate = rate;
+            SimConfig s = sim;
+            s.seed = sim.seed + k;
+            Simulation run(network, t, s);
+            const Report r = run.run();
+
+            avg.allCompleted = avg.allCompleted && r.completed;
+            avg.meanLatency += r.avgLatencyCycles;
+            avg.meanPowerWatts += r.networkPowerWatts;
+            avg.meanThroughput += r.acceptedFlitsPerNodePerCycle;
+            if (k == 0) {
+                avg.minLatency = r.avgLatencyCycles;
+                avg.maxLatency = r.avgLatencyCycles;
+            } else {
+                avg.minLatency =
+                    std::min(avg.minLatency, r.avgLatencyCycles);
+                avg.maxLatency =
+                    std::max(avg.maxLatency, r.avgLatencyCycles);
+            }
+        }
+        avg.meanLatency /= num_seeds;
+        avg.meanPowerWatts /= num_seeds;
+        avg.meanThroughput /= num_seeds;
+        points.push_back(avg);
+    }
+    return points;
+}
+
+double
+Sweep::zeroLoadLatency(const NetworkConfig& network,
+                       const TrafficConfig& traffic, const SimConfig& sim)
+{
+    TrafficConfig t = traffic;
+    t.injectionRate = 0.002;
+    SimConfig s = sim;
+    s.samplePackets = std::min<std::uint64_t>(sim.samplePackets, 500);
+    Simulation run(network, t, s);
+    return run.run().avgLatencyCycles;
+}
+
+double
+Sweep::saturationRate(const std::vector<SweepPoint>& points,
+                      double zero_load_latency)
+{
+    assert(zero_load_latency > 0.0);
+    for (const auto& p : points) {
+        if (!p.report.completed ||
+            p.report.avgLatencyCycles > 2.0 * zero_load_latency) {
+            return p.injectionRate;
+        }
+    }
+    return -1.0;
+}
+
+std::vector<double>
+Sweep::linspace(double first, double last, unsigned count)
+{
+    assert(count >= 2 && last >= first);
+    std::vector<double> v;
+    v.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        v.push_back(first + (last - first) * i /
+                    static_cast<double>(count - 1));
+    }
+    return v;
+}
+
+} // namespace orion

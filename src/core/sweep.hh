@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Injection-rate sweeps and saturation detection.
+ *
+ * The paper's latency/power figures are curves over packet injection
+ * rate; its saturation definition (Section 4.1): "the point at which
+ * average packet latency increases to more than twice zero-load
+ * latency".
+ */
+
+#ifndef ORION_CORE_SWEEP_HH
+#define ORION_CORE_SWEEP_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulation.hh"
+
+namespace orion {
+
+/** One point of an injection-rate sweep. */
+struct SweepPoint
+{
+    double injectionRate;
+    Report report;
+};
+
+/** One sweep point aggregated over several seeds. */
+struct AveragedPoint
+{
+    double injectionRate = 0.0;
+    unsigned seeds = 0;
+    /** True only if every seed's run completed. */
+    bool allCompleted = false;
+    double meanLatency = 0.0;
+    double minLatency = 0.0;
+    double maxLatency = 0.0;
+    double meanPowerWatts = 0.0;
+    double meanThroughput = 0.0;
+};
+
+/** Injection-rate sweep driver. */
+class Sweep
+{
+  public:
+    /**
+     * Run @p network under @p traffic at each rate in @p rates,
+     * returning one report per rate. The traffic config's
+     * injectionRate field is overridden per point.
+     */
+    static std::vector<SweepPoint> overRates(
+        const NetworkConfig& network, const TrafficConfig& traffic,
+        const SimConfig& sim, const std::vector<double>& rates);
+
+    /**
+     * Like overRates, but each point runs @p num_seeds times with
+     * seeds sim.seed, sim.seed+1, ... and reports the mean and spread
+     * — the error-bar data behind a publication-quality curve.
+     */
+    static std::vector<AveragedPoint> overRatesAveraged(
+        const NetworkConfig& network, const TrafficConfig& traffic,
+        const SimConfig& sim, const std::vector<double>& rates,
+        unsigned num_seeds);
+
+    /**
+     * Zero-load latency: mean latency at a near-zero injection rate
+     * (0.002 packets/cycle/node with a reduced sample).
+     */
+    static double zeroLoadLatency(const NetworkConfig& network,
+                                  const TrafficConfig& traffic,
+                                  const SimConfig& sim);
+
+    /**
+     * The paper's saturation point: the lowest swept rate whose mean
+     * latency exceeds twice @p zero_load_latency (or whose run did not
+     * complete). Returns a negative value if no swept rate saturates.
+     */
+    static double saturationRate(const std::vector<SweepPoint>& points,
+                                 double zero_load_latency);
+
+    /** Evenly spaced rates in [first, last] with @p count points. */
+    static std::vector<double> linspace(double first, double last,
+                                        unsigned count);
+};
+
+} // namespace orion
+
+#endif // ORION_CORE_SWEEP_HH

@@ -1,0 +1,82 @@
+#include "net/dvs_monitor.hh"
+
+#include <cassert>
+
+namespace orion::net {
+
+DvsLinkMonitor::DvsLinkMonitor(sim::EventBus& bus,
+                               power::DvsLinkModel model,
+                               DvsPolicy policy)
+    : model_(std::move(model)),
+      policy_(std::move(policy)),
+      levelTraversals_(model_.numLevels(), 0)
+{
+    assert(policy_.windowCycles > 0);
+    assert(policy_.thresholds.size() + 1 == model_.numLevels());
+    for (std::size_t i = 1; i < policy_.thresholds.size(); ++i)
+        assert(policy_.thresholds[i] < policy_.thresholds[i - 1]);
+
+    bus.subscribe(sim::EventType::LinkTraversal,
+                  [this](const sim::Event& ev) { onTraversal(ev); });
+}
+
+unsigned
+DvsLinkMonitor::pickLevel(double utilization) const
+{
+    for (std::size_t i = 0; i < policy_.thresholds.size(); ++i)
+        if (utilization >= policy_.thresholds[i])
+            return static_cast<unsigned>(i);
+    return model_.numLevels() - 1;
+}
+
+void
+DvsLinkMonitor::advanceWindows(LinkState& st, sim::Cycle now) const
+{
+    while (now >= st.windowStart + policy_.windowCycles) {
+        const double util =
+            static_cast<double>(st.windowCount) /
+            static_cast<double>(policy_.windowCycles);
+        st.level = pickLevel(util);
+        st.windowStart += policy_.windowCycles;
+        st.windowCount = 0;
+    }
+}
+
+void
+DvsLinkMonitor::onTraversal(const sim::Event& ev)
+{
+    LinkState& st = links_[{ev.node, ev.component}];
+    advanceWindows(st, ev.cycle);
+    ++st.windowCount;
+
+    dvsEnergy_ += model_.traversalEnergy(ev.deltaA, st.level);
+    baselineEnergy_ += model_.nominalTraversalEnergy(ev.deltaA);
+    ++levelTraversals_[st.level];
+}
+
+double
+DvsLinkMonitor::savings() const
+{
+    if (baselineEnergy_ <= 0.0)
+        return 0.0;
+    return 1.0 - dvsEnergy_ / baselineEnergy_;
+}
+
+unsigned
+DvsLinkMonitor::linkLevel(int node, int port) const
+{
+    const auto it = links_.find({node, port});
+    return it == links_.end() ? 0 : it->second.level;
+}
+
+void
+DvsLinkMonitor::reset()
+{
+    dvsEnergy_ = 0.0;
+    baselineEnergy_ = 0.0;
+    std::fill(levelTraversals_.begin(), levelTraversals_.end(), 0);
+    for (auto& [key, st] : links_)
+        st.windowCount = 0;
+}
+
+} // namespace orion::net

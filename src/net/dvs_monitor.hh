@@ -1,0 +1,107 @@
+/**
+ * @file
+ * History-based DVS policy monitor for links.
+ *
+ * Implements the evaluation half of the paper's "third usage mode"
+ * (Section 4, Figure 3c): a researcher attaches a new mechanism's
+ * power model to the event stream and compares against the baseline.
+ * Here the mechanism is per-link dynamic voltage scaling (the paper's
+ * reference [17]): each link observes its traversal count over fixed
+ * windows and picks next window's voltage level from utilization
+ * thresholds — high traffic keeps the nominal voltage, light traffic
+ * drops to lower levels.
+ *
+ * The monitor accumulates both the DVS energy and the
+ * nominal-voltage baseline energy over the same event stream, so the
+ * saving is an apples-to-apples comparison. Transition timing costs
+ * are not modeled (this evaluates the power side; [17] reports the
+ * latency penalties).
+ */
+
+#ifndef ORION_NET_DVS_MONITOR_HH
+#define ORION_NET_DVS_MONITOR_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "power/dvs_link_model.hh"
+#include "sim/event.hh"
+
+namespace orion::net {
+
+/** Threshold policy: utilization -> level for the next window. */
+struct DvsPolicy
+{
+    /** Window length in cycles. */
+    sim::Cycle windowCycles = 256;
+    /**
+     * Descending utilization thresholds selecting levels 0..N-1: the
+     * first threshold whose value the measured utilization meets or
+     * exceeds selects that level; below all thresholds picks the last
+     * (lowest) level. Size must be numLevels - 1.
+     */
+    std::vector<double> thresholds{0.5, 0.25};
+};
+
+/** Per-link DVS state machine + energy accounting. */
+class DvsLinkMonitor
+{
+  public:
+    /**
+     * Subscribes to LinkTraversal events on @p bus.
+     *
+     * @param model   the voltage-scalable link model
+     * @param policy  level-selection policy
+     */
+    DvsLinkMonitor(sim::EventBus& bus, power::DvsLinkModel model,
+                   DvsPolicy policy);
+
+    /** Energy consumed with DVS active (joules). */
+    double dvsEnergy() const { return dvsEnergy_; }
+
+    /** Energy the same traffic would consume at nominal voltage. */
+    double baselineEnergy() const { return baselineEnergy_; }
+
+    /** Fraction of energy saved vs. the nominal baseline. */
+    double savings() const;
+
+    /** Traversals served at each level (level-usage histogram). */
+    const std::vector<std::uint64_t>& levelTraversals() const
+    {
+        return levelTraversals_;
+    }
+
+    /** Current level of link (@p node, @p port); 0 if never seen. */
+    unsigned linkLevel(int node, int port) const;
+
+    /** Zero all accumulated energy and histograms (keeps levels). */
+    void reset();
+
+  private:
+    struct LinkState
+    {
+        /** Start cycle of the current observation window. */
+        sim::Cycle windowStart = 0;
+        /** Traversals observed in the current window. */
+        std::uint64_t windowCount = 0;
+        /** Level in force for the current window. */
+        unsigned level = 0;
+    };
+
+    void onTraversal(const sim::Event& ev);
+    unsigned pickLevel(double utilization) const;
+    void advanceWindows(LinkState& st, sim::Cycle now) const;
+
+    power::DvsLinkModel model_;
+    DvsPolicy policy_;
+    std::map<std::pair<int, int>, LinkState> links_;
+    double dvsEnergy_ = 0.0;
+    double baselineEnergy_ = 0.0;
+    std::vector<std::uint64_t> levelTraversals_;
+};
+
+} // namespace orion::net
+
+#endif // ORION_NET_DVS_MONITOR_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Network builder: instantiates routers, endpoint nodes, and the data/
+ * credit links between them from a topology and a router
+ * configuration, and registers everything with the simulator — the
+ * "pick, plug and play" composition step of the paper (Section 6).
+ */
+
+#ifndef ORION_NET_NETWORK_HH
+#define ORION_NET_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/node.hh"
+#include "net/routing.hh"
+#include "net/topology.hh"
+#include "net/traffic.hh"
+#include "router/central_buffer_router.hh"
+#include "router/router.hh"
+#include "router/vc_router.hh"
+#include "router/wormhole_router.hh"
+#include "sim/simulator.hh"
+
+namespace orion::net {
+
+/** Router microarchitecture selector. */
+enum class RouterKind
+{
+    Wormhole,
+    VirtualChannel,
+    CentralBuffer,
+};
+
+/** Structural parameters of a network. */
+struct NetworkParams
+{
+    /** Radix per dimension, e.g. {4, 4}. */
+    std::vector<unsigned> dims{4, 4};
+    /** Torus (true) or mesh (false). */
+    bool wrap = true;
+    RouterKind routerKind = RouterKind::VirtualChannel;
+    /** VCs per input port (must be 1 for Wormhole/CentralBuffer). */
+    unsigned vcs = 2;
+    /** Buffer depth per VC (input FIFO depth for CB routers). */
+    unsigned bufferDepth = 8;
+    unsigned flitBits = 256;
+    unsigned packetLength = 5;
+    router::DeadlockMode deadlock = router::DeadlockMode::Dateline;
+    /** Behavioural arbiter style used throughout the routers. */
+    router::ArbiterKind arbiterKind = router::ArbiterKind::Matrix;
+    /** Speculative VA+SA single-stage pipeline (VC routers only). */
+    bool speculative = false;
+    /** Central-buffer organization (CB routers only). */
+    router::CentralBufferRouterParams centralBuffer{10240, 2, 2, 2};
+    /** Dimension traversal order; empty selects y-first default. */
+    std::vector<unsigned> dimOrder{};
+    /** Half-way ring tie policy (see net/routing.hh). */
+    TieBreak tieBreak = TieBreak::Random;
+    /** Source injection-VC policy (see net/node.hh). */
+    InjectionPolicy injection = InjectionPolicy::SingleVc;
+};
+
+/** A fully wired network of routers, nodes, and links. */
+class Network
+{
+  public:
+    /**
+     * Build the network and register all modules and channels with
+     * @p simulator.
+     */
+    Network(sim::Simulator& simulator, const NetworkParams& params,
+            const TrafficParams& traffic, std::uint64_t seed);
+
+    const Topology& topology() const { return topo_; }
+    const NetworkParams& params() const { return params_; }
+    SharedState& shared() { return shared_; }
+    const SharedState& shared() const { return shared_; }
+
+    router::Router& router(int node) { return *routers_[node]; }
+    Node& endpoint(int node) { return *nodes_[node]; }
+    const Node& endpoint(int node) const { return *nodes_[node]; }
+
+    /** Inter-router unidirectional links in the network. */
+    unsigned interRouterLinks() const { return interRouterLinks_; }
+    /** Inter-router links whose sender is @p node. */
+    unsigned linksFrom(int node) const;
+
+    /// @name Aggregate statistics
+    /// @{
+    std::uint64_t totalInjected() const;
+    std::uint64_t totalEjected() const;
+    std::uint64_t totalFlitsEjected() const;
+    /** Packets created but not yet fully ejected. */
+    std::uint64_t inFlight() const;
+    void resetFlitCounts();
+    /// @}
+
+  private:
+    void buildRouters(sim::Simulator& simulator, std::uint64_t seed);
+    void wire(sim::Simulator& simulator);
+
+    NetworkParams params_;
+    Topology topo_;
+    DorRouting routing_;
+    TrafficGenerator traffic_;
+    SharedState shared_;
+
+    std::vector<std::unique_ptr<router::Router>> routers_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<router::FlitLink>> flitLinks_;
+    std::vector<std::unique_ptr<router::CreditLink>> creditLinks_;
+    unsigned interRouterLinks_ = 0;
+};
+
+} // namespace orion::net
+
+#endif // ORION_NET_NETWORK_HH

@@ -1,0 +1,174 @@
+#include "net/node.hh"
+
+#include <cassert>
+
+namespace orion::net {
+
+Node::Node(std::string name, int node, const Topology& topo,
+           const DorRouting& routing, TrafficGenerator& traffic,
+           SharedState& shared, unsigned packet_length,
+           unsigned flit_bits, unsigned router_vcs,
+           unsigned buffer_depth, std::uint64_t seed,
+           sim::EventBus& bus, InjectionPolicy policy)
+    : sim::Module(std::move(name), node),
+      topo_(topo),
+      routing_(routing),
+      traffic_(traffic),
+      shared_(shared),
+      bus_(bus),
+      rng_(seed ^ (0x5bd1e995u * static_cast<std::uint64_t>(node + 1))),
+      packetLength_(packet_length),
+      flitBits_(flit_bits),
+      routerVcs_(router_vcs),
+      policy_(policy),
+      injectionCredits_(std::make_unique<router::CreditCounter>(
+          router_vcs, buffer_depth))
+{
+    assert(packet_length >= 1 && flit_bits >= 1 && router_vcs >= 1);
+}
+
+void
+Node::connectInjection(router::FlitLink* to_router,
+                       router::CreditLink* credit_from_router)
+{
+    toRouter_ = to_router;
+    creditFromRouter_ = credit_from_router;
+}
+
+void
+Node::connectEjection(router::FlitLink* from_router)
+{
+    fromRouter_ = from_router;
+}
+
+power::BitVec
+Node::randomPayload()
+{
+    power::BitVec v(flitBits_);
+    for (std::size_t w = 0; w < v.wordCount(); ++w)
+        v.setWord(w, rng_.next());
+    return v;
+}
+
+void
+Node::cycle(sim::Cycle now)
+{
+    // Credits freed by the router's local input buffer.
+    if (creditFromRouter_ && creditFromRouter_->valid()) {
+        const router::Credit c = creditFromRouter_->read();
+        injectionCredits_->restore(c.vc);
+    }
+
+    ejectStage(now);
+    generateStage(now);
+    injectStage(now);
+}
+
+void
+Node::ejectStage(sim::Cycle now)
+{
+    if (!fromRouter_ || !fromRouter_->valid())
+        return;
+    const router::Flit flit = fromRouter_->read();
+    assert(flit.packet->dst == node() && "flit ejected at wrong node");
+    ++flitsEjected_;
+    if (!flit.tail)
+        return;
+
+    ++packetsEjected_;
+    const auto latency =
+        static_cast<double>(now - flit.packet->createdAt);
+    if (flit.packet->sample) {
+        ++shared_.sampleEjected;
+        shared_.sampleLatency.add(latency);
+        shared_.sampleLatencyHist.add(latency);
+    }
+    bus_.emit({sim::EventType::PacketEjected, node(), 0,
+               static_cast<std::uint32_t>(latency),
+               flit.packet->sample ? 1u : 0u, now});
+}
+
+void
+Node::generateStage(sim::Cycle now)
+{
+    const std::optional<int> dst =
+        traffic_.maybeInject(node(), now, rng_);
+    if (!dst)
+        return;
+
+    auto pkt = std::make_shared<router::PacketInfo>();
+    pkt->id = shared_.nextPacketId++;
+    pkt->src = node();
+    pkt->dst = *dst;
+    pkt->createdAt = now;
+    pkt->length = packetLength_;
+    pkt->sample = false;
+    if (shared_.sampling && shared_.sampleRemaining > 0) {
+        pkt->sample = true;
+        --shared_.sampleRemaining;
+        ++shared_.sampleInjected;
+        if (shared_.sampleRemaining == 0)
+            shared_.sampling = false;
+    }
+    pkt->route = routing_.route(node(), *dst, rng_);
+
+    ++packetsInjected_;
+    bus_.emit({sim::EventType::PacketInjected, node(), 0,
+               static_cast<std::uint32_t>(pkt->route.size()),
+               pkt->sample ? 1u : 0u, now});
+    sourceQueue_.push_back(std::move(pkt));
+}
+
+void
+Node::injectStage(sim::Cycle now)
+{
+    if (!toRouter_ || sourceQueue_.empty())
+        return;
+
+    const auto& pkt = sourceQueue_.front();
+    const bool is_head = injectSeq_ == 0;
+
+    if (is_head) {
+        if (policy_ == InjectionPolicy::SingleVc) {
+            if (injectionCredits_->available(0) == 0)
+                return;
+            injectVc_ = 0;
+        } else {
+            // Pick the local input VC with the most credits; stall if
+            // all are exhausted.
+            unsigned best_vc = 0;
+            unsigned best = 0;
+            for (unsigned v = 0; v < routerVcs_; ++v) {
+                const unsigned avail = injectionCredits_->available(v);
+                if (avail > best) {
+                    best = avail;
+                    best_vc = v;
+                }
+            }
+            if (best == 0)
+                return;
+            injectVc_ = best_vc;
+        }
+    } else if (injectionCredits_->available(injectVc_) == 0) {
+        return;
+    }
+
+    router::Flit flit;
+    flit.packet = pkt;
+    flit.head = is_head;
+    flit.tail = injectSeq_ + 1 == packetLength_;
+    flit.seq = injectSeq_;
+    flit.hop = 0;
+    flit.vc = static_cast<std::uint8_t>(injectVc_);
+    flit.payload = randomPayload();
+
+    injectionCredits_->consume(injectVc_);
+    toRouter_->send(std::move(flit), bus_, now);
+
+    if (++injectSeq_ == packetLength_) {
+        injectSeq_ = 0;
+        sourceQueue_.pop_front();
+    }
+}
+
+} // namespace orion::net

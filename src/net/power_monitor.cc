@@ -1,0 +1,228 @@
+#include "net/power_monitor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace orion::net {
+
+const char*
+componentClassName(ComponentClass c)
+{
+    switch (c) {
+      case ComponentClass::Buffer:        return "buffer";
+      case ComponentClass::Crossbar:      return "crossbar";
+      case ComponentClass::Arbiter:       return "arbiter";
+      case ComponentClass::Link:          return "link";
+      case ComponentClass::CentralBuffer: return "central_buffer";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr std::array<sim::EventType, 9> kMonitoredEvents = {
+    sim::EventType::BufferWrite,
+    sim::EventType::BufferRead,
+    sim::EventType::Arbitration,
+    sim::EventType::VcAllocation,
+    sim::EventType::CrossbarTraversal,
+    sim::EventType::CentralBufferWrite,
+    sim::EventType::CentralBufferRead,
+    sim::EventType::LinkTraversal,
+    // Counted for statistics; credit wires carry negligible energy
+    // and the paper attributes none to them.
+    sim::EventType::CreditTransfer,
+};
+
+/** Clamp a monitored delta into the range a model accepts. */
+unsigned
+clampDelta(std::uint32_t delta, unsigned limit)
+{
+    return std::min<std::uint32_t>(delta, limit);
+}
+
+} // namespace
+
+PowerMonitor::PowerMonitor(sim::EventBus& bus, PowerModelSet models,
+                           unsigned num_nodes, unsigned links_per_node)
+    : models_(std::move(models)),
+      numNodes_(num_nodes),
+      linksPerNode_(links_per_node),
+      energy_(num_nodes)
+{
+    assert(num_nodes > 0);
+    assert(models_.buffer && "input buffer model is mandatory");
+    assert(!(models_.onChipLink && models_.chipToChipLink));
+    for (auto& node : energy_)
+        node.fill(0.0);
+
+    for (const auto type : kMonitoredEvents) {
+        bus.subscribe(type,
+                      [this](const sim::Event& ev) { onEvent(ev); });
+    }
+}
+
+void
+PowerMonitor::accumulate(int node, ComponentClass c, double joules)
+{
+    assert(node >= 0 && static_cast<unsigned>(node) < numNodes_);
+    energy_[node][static_cast<unsigned>(c)] += joules;
+}
+
+void
+PowerMonitor::onEvent(const sim::Event& ev)
+{
+    ++eventCounts_[static_cast<unsigned>(ev.type)];
+
+    switch (ev.type) {
+      case sim::EventType::BufferWrite: {
+        const unsigned f = models_.buffer->params().flitBits;
+        accumulate(ev.node, ComponentClass::Buffer,
+                   models_.buffer->writeEnergy(clampDelta(ev.deltaA, f),
+                                               clampDelta(ev.deltaB, f)));
+        break;
+      }
+      case sim::EventType::BufferRead:
+        accumulate(ev.node, ComponentClass::Buffer,
+                   models_.buffer->readEnergy());
+        break;
+      case sim::EventType::Arbitration: {
+        if (!models_.switchArbiter)
+            break;
+        const auto& m = *models_.switchArbiter;
+        const unsigned r = m.params().requests;
+        const unsigned max_pri = std::max(m.priorityFlipFlops(), 2u);
+        accumulate(ev.node, ComponentClass::Arbiter,
+                   m.arbitrationEnergy(clampDelta(ev.deltaA, r),
+                                       clampDelta(ev.deltaB, max_pri)));
+        break;
+      }
+      case sim::EventType::VcAllocation: {
+        if (!models_.vcArbiter)
+            break;
+        const auto& m = *models_.vcArbiter;
+        const unsigned r = m.params().requests;
+        const unsigned max_pri = std::max(m.priorityFlipFlops(), 2u);
+        accumulate(ev.node, ComponentClass::Arbiter,
+                   m.arbitrationEnergy(clampDelta(ev.deltaA, r),
+                                       clampDelta(ev.deltaB, max_pri)));
+        break;
+      }
+      case sim::EventType::CrossbarTraversal: {
+        if (!models_.crossbar)
+            break;
+        const unsigned w = models_.crossbar->params().width;
+        accumulate(
+            ev.node, ComponentClass::Crossbar,
+            models_.crossbar->traversalEnergy(clampDelta(ev.deltaA, w)));
+        break;
+      }
+      case sim::EventType::CentralBufferWrite: {
+        if (!models_.centralBuffer)
+            break;
+        const unsigned f = models_.centralBuffer->params().flitBits;
+        const unsigned bits = clampDelta(ev.deltaA, f);
+        accumulate(ev.node, ComponentClass::CentralBuffer,
+                   models_.centralBuffer->writeEnergy(
+                       bits, bits, clampDelta(ev.deltaB, f)));
+        break;
+      }
+      case sim::EventType::CentralBufferRead: {
+        if (!models_.centralBuffer)
+            break;
+        const unsigned f = models_.centralBuffer->params().flitBits;
+        accumulate(ev.node, ComponentClass::CentralBuffer,
+                   models_.centralBuffer->readEnergy(
+                       clampDelta(ev.deltaA, f)));
+        break;
+      }
+      case sim::EventType::LinkTraversal: {
+        if (!models_.onChipLink)
+            break; // chip-to-chip links are traffic-insensitive
+        const unsigned w = models_.onChipLink->width();
+        accumulate(
+            ev.node, ComponentClass::Link,
+            models_.onChipLink->traversalEnergy(
+                clampDelta(ev.deltaA, w)));
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+double
+PowerMonitor::energy(int node, ComponentClass c) const
+{
+    assert(node >= 0 && static_cast<unsigned>(node) < numNodes_);
+    return energy_[node][static_cast<unsigned>(c)];
+}
+
+double
+PowerMonitor::totalEnergy(ComponentClass c) const
+{
+    double t = 0.0;
+    for (const auto& node : energy_)
+        t += node[static_cast<unsigned>(c)];
+    return t;
+}
+
+double
+PowerMonitor::totalEnergy() const
+{
+    double t = 0.0;
+    for (unsigned c = 0; c < kNumComponentClasses; ++c)
+        t += totalEnergy(static_cast<ComponentClass>(c));
+    return t;
+}
+
+double
+PowerMonitor::nodePower(int node, double cycles) const
+{
+    assert(cycles > 0.0);
+    const double f = models_.tech.freqHz;
+    double e = 0.0;
+    for (unsigned c = 0; c < kNumComponentClasses; ++c)
+        e += energy_[node][c];
+    double p = e * f / cycles;
+    if (models_.chipToChipLink)
+        p += linksPerNode_ * models_.chipToChipLink->powerWatts();
+    return p;
+}
+
+double
+PowerMonitor::classPower(ComponentClass c, double cycles) const
+{
+    assert(cycles > 0.0);
+    double p = totalEnergy(c) * models_.tech.freqHz / cycles;
+    if (c == ComponentClass::Link && models_.chipToChipLink) {
+        p += static_cast<double>(numNodes_) * linksPerNode_ *
+             models_.chipToChipLink->powerWatts();
+    }
+    return p;
+}
+
+double
+PowerMonitor::networkPower(double cycles) const
+{
+    double p = 0.0;
+    for (unsigned c = 0; c < kNumComponentClasses; ++c)
+        p += classPower(static_cast<ComponentClass>(c), cycles);
+    return p;
+}
+
+std::uint64_t
+PowerMonitor::eventCount(sim::EventType type) const
+{
+    return eventCounts_[static_cast<unsigned>(type)];
+}
+
+void
+PowerMonitor::reset()
+{
+    for (auto& node : energy_)
+        node.fill(0.0);
+    eventCounts_.fill(0);
+}
+
+} // namespace orion::net

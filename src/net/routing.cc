@@ -1,0 +1,88 @@
+#include "net/routing.hh"
+
+#include <cassert>
+
+namespace orion::net {
+
+DorRouting::DorRouting(const Topology& topo,
+                       std::vector<unsigned> dim_order,
+                       router::DeadlockMode deadlock,
+                       TieBreak tie_break)
+    : topo_(topo),
+      dimOrder_(std::move(dim_order)),
+      deadlock_(deadlock),
+      tieBreak_(tie_break)
+{
+    assert(dimOrder_.size() == topo.dimensions());
+}
+
+std::vector<unsigned>
+DorRouting::defaultOrder(const Topology& topo)
+{
+    // Highest dimension first: {1, 0} in 2D, i.e. y before x.
+    std::vector<unsigned> order;
+    for (unsigned d = topo.dimensions(); d-- > 0;)
+        order.push_back(d);
+    return order;
+}
+
+std::vector<router::RouteHop>
+DorRouting::route(int src, int dst, sim::Rng& rng) const
+{
+    assert(src != dst);
+    std::vector<router::RouteHop> hops;
+
+    Coord cur = topo_.coordsOf(src);
+    const Coord goal = topo_.coordsOf(dst);
+
+    for (unsigned d : dimOrder_) {
+        const unsigned k = topo_.radix(d);
+        if (cur[d] == goal[d])
+            continue;
+
+        // Choose direction: minimal on a torus (random tie-break at
+        // exactly half way), sign of the offset on a mesh.
+        const unsigned fwd = (goal[d] + k - cur[d]) % k;
+        const unsigned bwd = k - fwd;
+        bool plus;
+        if (!topo_.wrapped())
+            plus = goal[d] > cur[d];
+        else if (fwd < bwd)
+            plus = true;
+        else if (bwd < fwd)
+            plus = false;
+        else if (tieBreak_ == TieBreak::PreferWrap)
+            // Exactly one direction of a half-way tie crosses the
+            // wraparound edge: + iff the path passes coordinate k-1.
+            plus = cur[d] + fwd >= k;
+        else
+            plus = rng.chance(0.5);
+
+        const unsigned steps = plus ? fwd : bwd;
+
+        // Dateline class: 1 if this ring traversal uses the wraparound
+        // edge (k-1 -> 0 going plus, 0 -> k-1 going minus).
+        std::uint8_t vc_class = 0;
+        if (deadlock_ == router::DeadlockMode::Dateline &&
+            topo_.wrapped()) {
+            const bool crosses =
+                plus ? cur[d] + steps >= k : cur[d] < steps;
+            vc_class = crosses ? 1 : 0;
+        }
+
+        const auto port =
+            static_cast<std::uint8_t>(topo_.port(d, plus));
+        for (unsigned s = 0; s < steps; ++s) {
+            hops.push_back(router::RouteHop{port, vc_class, s == 0});
+            cur[d] = plus ? (cur[d] + 1) % k : (cur[d] + k - 1) % k;
+        }
+    }
+    assert(cur == goal);
+
+    // Ejection hop at the destination router.
+    hops.push_back(router::RouteHop{
+        static_cast<std::uint8_t>(topo_.localPort()), 0, false});
+    return hops;
+}
+
+} // namespace orion::net

@@ -1,0 +1,74 @@
+#include "net/trace.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace orion::net {
+
+std::vector<TraceRecord>
+Trace::parse(std::istream& in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        long long cycle = 0;
+        int src = 0;
+        int dst = 0;
+        if (!(fields >> cycle)) {
+            continue; // blank or comment-only line
+        }
+        if (!(fields >> src >> dst) || cycle < 0) {
+            throw std::runtime_error(
+                "trace: malformed record at line " +
+                std::to_string(line_no));
+        }
+        std::string extra;
+        if (fields >> extra) {
+            throw std::runtime_error(
+                "trace: trailing fields at line " +
+                std::to_string(line_no));
+        }
+        if (src == dst) {
+            throw std::runtime_error(
+                "trace: self-addressed packet at line " +
+                std::to_string(line_no));
+        }
+        records.push_back(
+            {static_cast<sim::Cycle>(cycle), src, dst});
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+Trace::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("trace: cannot open " + path);
+    return parse(in);
+}
+
+void
+Trace::validate(const std::vector<TraceRecord>& records,
+                unsigned num_nodes)
+{
+    for (const auto& r : records) {
+        if (r.src < 0 || static_cast<unsigned>(r.src) >= num_nodes ||
+            r.dst < 0 || static_cast<unsigned>(r.dst) >= num_nodes) {
+            throw std::runtime_error(
+                "trace: node id out of range (nodes: " +
+                std::to_string(num_nodes) + ")");
+        }
+        if (r.src == r.dst)
+            throw std::runtime_error("trace: self-addressed packet");
+    }
+}
+
+} // namespace orion::net

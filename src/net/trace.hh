@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Communication-trace support.
+ *
+ * Paper Section 4.3: "while our experiments use synthetic workloads,
+ * as no realistic communication workloads are readily available,
+ * Orion can be interfaced with actual communication traces for more
+ * realistic results." A trace is a list of packet-creation records;
+ * the traffic generator replays it, injecting each packet at its
+ * recorded cycle (or as soon afterwards as the source is able — trace
+ * cycles are lower bounds under backpressure, since each node creates
+ * at most one packet per cycle).
+ *
+ * Text format, one record per line: `cycle src dst`, `#` starts a
+ * comment. Records need not be sorted; src == dst records are
+ * rejected.
+ */
+
+#ifndef ORION_NET_TRACE_HH
+#define ORION_NET_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace orion::net {
+
+/** One packet creation: at @p cycle, @p src sends to @p dst. */
+struct TraceRecord
+{
+    sim::Cycle cycle;
+    int src;
+    int dst;
+
+    bool operator==(const TraceRecord&) const = default;
+};
+
+/** Trace parsing and validation. */
+class Trace
+{
+  public:
+    /**
+     * Parse records from @p in. Throws std::runtime_error on
+     * malformed lines or self-addressed records.
+     */
+    static std::vector<TraceRecord> parse(std::istream& in);
+
+    /** Parse records from the file at @p path. */
+    static std::vector<TraceRecord> load(const std::string& path);
+
+    /**
+     * Validate @p records against a network of @p num_nodes nodes
+     * (node ids in range, no self-sends). Throws on violation.
+     */
+    static void validate(const std::vector<TraceRecord>& records,
+                         unsigned num_nodes);
+};
+
+} // namespace orion::net
+
+#endif // ORION_NET_TRACE_HH

@@ -1,0 +1,152 @@
+#include "power/activity.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace orion::power {
+
+BitVec::BitVec(unsigned width)
+    : width_(width),
+      words_(static_cast<std::uint32_t>((width + 63) / 64))
+{
+    if (words_ > kInlineWords)
+        heap_ = std::make_unique<std::uint64_t[]>(words_);
+    std::fill_n(data(), words_, 0ull);
+}
+
+BitVec::BitVec(unsigned width, std::uint64_t low_word)
+    : BitVec(width)
+{
+    if (words_ > 0) {
+        data()[0] = low_word;
+        maskTop();
+    }
+}
+
+BitVec::BitVec(const BitVec& o)
+    : width_(o.width_), words_(o.words_)
+{
+    if (words_ > kInlineWords)
+        heap_ = std::make_unique<std::uint64_t[]>(words_);
+    std::copy_n(o.data(), words_, data());
+}
+
+BitVec::BitVec(BitVec&& o) noexcept
+    : width_(o.width_),
+      words_(o.words_),
+      inline_(o.inline_),
+      heap_(std::move(o.heap_))
+{
+    o.width_ = 0;
+    o.words_ = 0;
+}
+
+BitVec&
+BitVec::operator=(const BitVec& o)
+{
+    if (this == &o)
+        return *this;
+    if (o.words_ > kInlineWords) {
+        // Reuse an existing heap buffer of sufficient size.
+        if (!heap_ || words_ < o.words_)
+            heap_ = std::make_unique<std::uint64_t[]>(o.words_);
+    } else {
+        heap_.reset();
+    }
+    width_ = o.width_;
+    words_ = o.words_;
+    std::copy_n(o.data(), words_, data());
+    return *this;
+}
+
+BitVec&
+BitVec::operator=(BitVec&& o) noexcept
+{
+    if (this == &o)
+        return *this;
+    width_ = o.width_;
+    words_ = o.words_;
+    inline_ = o.inline_;
+    heap_ = std::move(o.heap_);
+    o.width_ = 0;
+    o.words_ = 0;
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec& o) const
+{
+    if (width_ != o.width_)
+        return false;
+    return std::equal(data(), data() + words_, o.data());
+}
+
+void
+BitVec::setWord(std::size_t i, std::uint64_t v)
+{
+    assert(i < words_);
+    data()[i] = v;
+    maskTop();
+}
+
+bool
+BitVec::bit(unsigned i) const
+{
+    assert(i < width_);
+    return (data()[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVec::setBit(unsigned i, bool v)
+{
+    assert(i < width_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (v)
+        data()[i / 64] |= mask;
+    else
+        data()[i / 64] &= ~mask;
+}
+
+unsigned
+BitVec::popcount() const
+{
+    unsigned n = 0;
+    for (std::size_t w = 0; w < words_; ++w)
+        n += std::popcount(data()[w]);
+    return n;
+}
+
+void
+BitVec::maskTop()
+{
+    const unsigned rem = width_ % 64;
+    if (rem != 0 && words_ > 0)
+        data()[words_ - 1] &= (std::uint64_t{1} << rem) - 1;
+}
+
+unsigned
+hammingDistance(const BitVec& a, const BitVec& b)
+{
+    assert(a.width() == b.width());
+    unsigned n = 0;
+    const std::uint64_t* wa = a.data();
+    const std::uint64_t* wb = b.data();
+    for (std::size_t i = 0; i < a.wordCount(); ++i)
+        n += std::popcount(wa[i] ^ wb[i]);
+    return n;
+}
+
+unsigned
+switchingWriteBitlines(const BitVec& new_data, const BitVec& last_written)
+{
+    return hammingDistance(new_data, last_written);
+}
+
+unsigned
+flippedCells(const BitVec& new_data, const BitVec& old_row)
+{
+    return hammingDistance(new_data, old_row);
+}
+
+} // namespace orion::power

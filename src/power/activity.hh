@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Switching-activity helpers.
+ *
+ * The paper: "Throughout our power models, the switching activity
+ * factors delta_x are monitored and calculated through simulation."
+ * Flits in the simulator carry real payload bits; these helpers turn
+ * pairs of payloads into the delta counts the energy equations consume
+ * (number of switching write bitlines, number of flipped memory cells,
+ * number of toggling crossbar/link wires).
+ */
+
+#ifndef ORION_POWER_ACTIVITY_HH
+#define ORION_POWER_ACTIVITY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+namespace orion::power {
+
+/**
+ * A fixed-width bit vector holding the payload of one flit (or any
+ * datapath word the power models track). Width is in bits; storage is
+ * little-endian 64-bit words with unused high bits kept at zero.
+ *
+ * Widths up to 256 bits (every configuration in the paper) live in
+ * inline storage — no heap allocation per flit; wider vectors fall
+ * back to a heap buffer.
+ */
+class BitVec
+{
+  public:
+    BitVec() : width_(0), words_(0) {}
+
+    /** An all-zero vector of @p width bits. */
+    explicit BitVec(unsigned width);
+
+    /** A vector of @p width bits whose low word is @p low_word. */
+    BitVec(unsigned width, std::uint64_t low_word);
+
+    BitVec(const BitVec& o);
+    BitVec(BitVec&& o) noexcept;
+    BitVec& operator=(const BitVec& o);
+    BitVec& operator=(BitVec&& o) noexcept;
+    ~BitVec() = default;
+
+    unsigned width() const { return width_; }
+
+    /** Number of 64-bit storage words. */
+    std::size_t wordCount() const { return words_; }
+
+    std::uint64_t word(std::size_t i) const { return data()[i]; }
+
+    /** Set storage word @p i (masked to the declared width). */
+    void setWord(std::size_t i, std::uint64_t v);
+
+    bool bit(unsigned i) const;
+    void setBit(unsigned i, bool v);
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    bool operator==(const BitVec& o) const;
+
+    const std::uint64_t*
+    data() const
+    {
+        return heap_ ? heap_.get() : inline_.data();
+    }
+
+    std::uint64_t*
+    data()
+    {
+        return heap_ ? heap_.get() : inline_.data();
+    }
+
+  private:
+    static constexpr std::size_t kInlineWords = 4; // up to 256 bits
+
+    void maskTop();
+
+    unsigned width_;
+    std::uint32_t words_;
+    std::array<std::uint64_t, kInlineWords> inline_{};
+    std::unique_ptr<std::uint64_t[]> heap_;
+};
+
+/**
+ * Hamming distance between two equal-width bit vectors: the number of
+ * wires that toggle when the datapath value changes from @p a to @p b.
+ */
+unsigned hammingDistance(const BitVec& a, const BitVec& b);
+
+/**
+ * Number of switching write bitlines (delta_bw of Table 2).
+ *
+ * Write bitlines are driven with the new datum; a bitline pair switches
+ * when the bit being written differs from the value the write driver
+ * held from the previous write.
+ */
+unsigned switchingWriteBitlines(const BitVec& new_data,
+                                const BitVec& last_written);
+
+/**
+ * Number of flipped memory cells (delta_bc of Table 2): bits of the new
+ * datum that differ from the old contents of the target row.
+ */
+unsigned flippedCells(const BitVec& new_data, const BitVec& old_row);
+
+} // namespace orion::power
+
+#endif // ORION_POWER_ACTIVITY_HH

@@ -1,0 +1,41 @@
+#include "power/dvs_link_model.hh"
+
+#include <cassert>
+
+namespace orion::power {
+
+DvsLinkModel::DvsLinkModel(const tech::TechNode& tech, double length_um,
+                           unsigned width, std::vector<DvsLevel> levels)
+    : base_(tech, length_um, width), levels_(std::move(levels))
+{
+    assert(!levels_.empty());
+    const double v0 = levels_.front().vdd;
+    assert(v0 > 0.0);
+    double last_v = v0 + 1.0;
+    for (const auto& l : levels_) {
+        assert(l.vdd > 0.0 && l.vdd < last_v &&
+               "levels must be strictly descending in voltage");
+        assert(l.bandwidthScale > 0.0 && l.bandwidthScale <= 1.0);
+        last_v = l.vdd;
+        energyScale_.push_back((l.vdd / v0) * (l.vdd / v0));
+    }
+}
+
+std::vector<DvsLevel>
+DvsLinkModel::defaultLevels(double nominal_vdd)
+{
+    return {
+        {nominal_vdd, 1.0},
+        {nominal_vdd * 5.0 / 6.0, 5.0 / 6.0},
+        {nominal_vdd * 2.0 / 3.0, 2.0 / 3.0},
+    };
+}
+
+double
+DvsLinkModel::traversalEnergy(unsigned delta_bits, unsigned level) const
+{
+    assert(level < levels_.size());
+    return base_.traversalEnergy(delta_bits) * energyScale_[level];
+}
+
+} // namespace orion::power

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic-voltage-scaled link power model.
+ *
+ * The first architectural power-saving technique built on Orion-style
+ * estimates was dynamic voltage scaling of network links (Shang, Peh,
+ * Jha — the paper's reference [17], cited as the motivating use case
+ * for fast architectural power simulation). This model extends the
+ * on-chip link model with a set of discrete voltage/frequency levels:
+ * traversal energy scales with V^2 (E = 1/2 C V^2 per toggling wire),
+ * and each level carries the relative bandwidth it sustains.
+ *
+ * The matching runtime policy lives in net::DvsLinkMonitor.
+ */
+
+#ifndef ORION_POWER_DVS_LINK_MODEL_HH
+#define ORION_POWER_DVS_LINK_MODEL_HH
+
+#include <vector>
+
+#include "power/link_model.hh"
+#include "tech/tech_node.hh"
+
+namespace orion::power {
+
+/** One DVS operating point. */
+struct DvsLevel
+{
+    /** Supply voltage at this level, in volts. */
+    double vdd;
+    /** Link bandwidth relative to the nominal level (0, 1]. */
+    double bandwidthScale;
+};
+
+/** A voltage-scalable on-chip link. */
+class DvsLinkModel
+{
+  public:
+    /**
+     * @param tech       technology node (nominal Vdd)
+     * @param length_um  link length
+     * @param width      link width in wires
+     * @param levels     operating points, highest voltage first; the
+     *                   first level must be the nominal voltage
+     */
+    DvsLinkModel(const tech::TechNode& tech, double length_um,
+                 unsigned width, std::vector<DvsLevel> levels);
+
+    /** Default three-point ladder: 100% / 83% / 67% of nominal Vdd
+     * with proportional bandwidth. */
+    static std::vector<DvsLevel> defaultLevels(double nominal_vdd);
+
+    const OnChipLinkModel& base() const { return base_; }
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(levels_.size());
+    }
+    const DvsLevel& level(unsigned i) const { return levels_[i]; }
+
+    /**
+     * Energy of one flit traversal at level @p level: the nominal
+     * capacitive energy scaled by (V_level / V_nominal)^2.
+     */
+    double traversalEnergy(unsigned delta_bits, unsigned level) const;
+
+    /** Energy at the nominal (highest) level. */
+    double
+    nominalTraversalEnergy(unsigned delta_bits) const
+    {
+        return traversalEnergy(delta_bits, 0);
+    }
+
+  private:
+    OnChipLinkModel base_;
+    std::vector<DvsLevel> levels_;
+    /** Precomputed (V_l / V_0)^2 factors. */
+    std::vector<double> energyScale_;
+};
+
+} // namespace orion::power
+
+#endif // ORION_POWER_DVS_LINK_MODEL_HH

@@ -1,0 +1,38 @@
+#include "power/flipflop_model.hh"
+
+#include "tech/capacitance.hh"
+#include "tech/transistor.hh"
+
+namespace orion::power {
+
+using tech::Role;
+using tech::Transistor;
+using tech::ca;
+using tech::cg;
+
+FlipFlopModel::FlipFlopModel(const tech::TechNode& tech)
+    : tech_(tech)
+{
+    const Transistor inv = defaultTransistor(tech, Role::FlipFlopInverter);
+    // Master + slave latch: two cross-coupled inverter pairs; a data
+    // flip swings the internal node of each pair (2 inverters' worth of
+    // gate + diffusion capacitance per latch).
+    cFlip_ = 2.0 * 2.0 * ca(tech, inv);
+    // Clock drives the four transmission/clocked transistors' gates.
+    cClock_ = 4.0 * cg(tech, inv);
+}
+
+double
+FlipFlopModel::flipEnergy() const
+{
+    return tech_.switchEnergy(cFlip_);
+}
+
+double
+FlipFlopModel::clockEnergy() const
+{
+    // Both clock edges in a cycle: one full charge/discharge pair.
+    return 2.0 * tech_.switchEnergy(cClock_);
+}
+
+} // namespace orion::power

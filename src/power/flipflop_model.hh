@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flip-flop subcomponent power model.
+ *
+ * Flip-flops appear twice in the paper's model hierarchy: as the
+ * priority state of arbiters (Table 4), and — reused per Section 3.2 —
+ * as the pipeline registers of central buffers. A master-slave D
+ * flip-flop is modeled as two cross-coupled inverter pairs plus clock
+ * load; energy is charged when the stored bit flips, plus a small
+ * clock-toggle term every cycle it is clocked.
+ */
+
+#ifndef ORION_POWER_FLIPFLOP_MODEL_HH
+#define ORION_POWER_FLIPFLOP_MODEL_HH
+
+#include "tech/tech_node.hh"
+
+namespace orion::power {
+
+/** Power model for a single-bit master-slave D flip-flop. */
+class FlipFlopModel
+{
+  public:
+    explicit FlipFlopModel(const tech::TechNode& tech);
+
+    /**
+     * Internal node capacitance switched when the stored value flips:
+     * the gate+diffusion capacitance of the two inverter pairs.
+     */
+    double flipCap() const { return cFlip_; }
+
+    /** Clock-input capacitance toggled every clock edge pair. */
+    double clockCap() const { return cClock_; }
+
+    /** Energy of one data flip. */
+    double flipEnergy() const;
+
+    /** Clocking energy per cycle (both edges), paid even without flip. */
+    double clockEnergy() const;
+
+  private:
+    tech::TechNode tech_;
+    double cFlip_;
+    double cClock_;
+};
+
+} // namespace orion::power
+
+#endif // ORION_POWER_FLIPFLOP_MODEL_HH

@@ -1,0 +1,164 @@
+#include "router/arbiter.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+Arbiter::Arbiter(unsigned requests)
+    : requests_(requests), lastReqs_(requests, false)
+{
+    assert(requests > 0);
+}
+
+unsigned
+Arbiter::requestDelta(const std::vector<bool>& reqs)
+{
+    assert(reqs.size() == requests_);
+    unsigned delta = 0;
+    for (unsigned i = 0; i < requests_; ++i)
+        if (reqs[i] != lastReqs_[i])
+            ++delta;
+    lastReqs_ = reqs;
+    return delta;
+}
+
+MatrixArbiter::MatrixArbiter(unsigned requests)
+    : Arbiter(requests),
+      prio_(requests, std::vector<bool>(requests, false))
+{
+    // Initial total order: lower index beats higher index.
+    for (unsigned i = 0; i < requests; ++i)
+        for (unsigned j = i + 1; j < requests; ++j)
+            prio_[i][j] = true;
+}
+
+bool
+MatrixArbiter::hasPriority(unsigned i, unsigned j) const
+{
+    assert(i < requests_ && j < requests_ && i != j);
+    return prio_[i][j];
+}
+
+ArbitrationResult
+MatrixArbiter::arbitrate(const std::vector<bool>& reqs)
+{
+    const unsigned delta_req = requestDelta(reqs);
+
+    // grant_i = req_i AND no other pending request has priority over i.
+    int winner = -1;
+    for (unsigned i = 0; i < requests_; ++i) {
+        if (!reqs[i])
+            continue;
+        bool beaten = false;
+        for (unsigned j = 0; j < requests_ && !beaten; ++j)
+            if (j != i && reqs[j] && prio_[j][i])
+                beaten = true;
+        if (!beaten) {
+            winner = static_cast<int>(i);
+            break;
+        }
+    }
+    // The priority matrix encodes a total order, so an asserted request
+    // set always has exactly one unbeaten member.
+    assert(winner >= 0 || delta_req >= 0);
+
+    unsigned delta_pri = 0;
+    if (winner >= 0) {
+        // Winner drops below everyone: row cleared, column set.
+        const auto w = static_cast<unsigned>(winner);
+        for (unsigned j = 0; j < requests_; ++j) {
+            if (j == w)
+                continue;
+            if (prio_[w][j]) {
+                prio_[w][j] = false;
+                prio_[j][w] = true;
+                ++delta_pri;
+            }
+        }
+    }
+    return {winner, delta_req, delta_pri};
+}
+
+RoundRobinArbiter::RoundRobinArbiter(unsigned requests)
+    : Arbiter(requests)
+{
+}
+
+QueuingArbiter::QueuingArbiter(unsigned requests)
+    : Arbiter(requests), queued_(requests, false)
+{
+}
+
+ArbitrationResult
+QueuingArbiter::arbitrate(const std::vector<bool>& reqs)
+{
+    const unsigned delta_req = requestDelta(reqs);
+
+    // Newly asserted requesters join the queue in index order (ties
+    // within one cycle are broken by requester index).
+    unsigned delta_pri = 0;
+    for (unsigned i = 0; i < requests_; ++i) {
+        if (reqs[i] && !queued_[i]) {
+            queue_.push_back(i);
+            queued_[i] = true;
+            ++delta_pri; // one queue write per enqueued id
+        }
+    }
+
+    // Serve the oldest still-asserted request; withdrawn requests at
+    // the front are discarded.
+    int winner = -1;
+    while (!queue_.empty()) {
+        const unsigned front = queue_.front();
+        queue_.pop_front();
+        queued_[front] = false;
+        if (reqs[front]) {
+            winner = static_cast<int>(front);
+            break;
+        }
+    }
+    return {winner, delta_req, delta_pri};
+}
+
+std::unique_ptr<Arbiter>
+makeArbiter(ArbiterKind kind, unsigned requests)
+{
+    switch (kind) {
+      case ArbiterKind::Matrix:
+        return std::make_unique<MatrixArbiter>(requests);
+      case ArbiterKind::RoundRobin:
+        return std::make_unique<RoundRobinArbiter>(requests);
+      case ArbiterKind::Queuing:
+        return std::make_unique<QueuingArbiter>(requests);
+    }
+    return std::make_unique<MatrixArbiter>(requests);
+}
+
+ArbitrationResult
+RoundRobinArbiter::arbitrate(const std::vector<bool>& reqs)
+{
+    const unsigned delta_req = requestDelta(reqs);
+
+    int winner = -1;
+    for (unsigned k = 0; k < requests_; ++k) {
+        const unsigned i = (token_ + k) % requests_;
+        if (reqs[i]) {
+            winner = static_cast<int>(i);
+            break;
+        }
+    }
+
+    unsigned delta_pri = 0;
+    if (winner >= 0) {
+        const unsigned next =
+            (static_cast<unsigned>(winner) + 1) % requests_;
+        if (next != token_) {
+            // One-hot token moves: two flip-flops toggle.
+            delta_pri = 2;
+            token_ = next;
+        }
+    }
+    return {winner, delta_req, delta_pri};
+}
+
+} // namespace orion::router

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Behavioural arbiters — the functional twins of power::ArbiterModel.
+ *
+ * Each arbitrate() call resolves one arbitration, updates the internal
+ * priority state exactly as the modeled hardware would, and reports the
+ * switching-activity deltas (changed request lines, toggled priority
+ * flip-flops) the arbiter power model consumes.
+ */
+
+#ifndef ORION_ROUTER_ARBITER_HH
+#define ORION_ROUTER_ARBITER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace orion::router {
+
+/**
+ * Behavioural arbiter styles — mirrors the power models' kinds so a
+ * router's functional arbitration matches the energy being charged.
+ */
+enum class ArbiterKind
+{
+    Matrix,
+    RoundRobin,
+    Queuing,
+};
+
+/** Outcome of one arbitration. */
+struct ArbitrationResult
+{
+    /** Granted requester index, or -1 if no requests. */
+    int winner;
+    /** Request lines that changed since the previous arbitration. */
+    unsigned deltaReq;
+    /** Priority flip-flops that toggled. */
+    unsigned deltaPri;
+};
+
+/** Abstract arbiter over a fixed number of requesters. */
+class Arbiter
+{
+  public:
+    explicit Arbiter(unsigned requests);
+    virtual ~Arbiter() = default;
+
+    unsigned requests() const { return requests_; }
+
+    /**
+     * Resolve one arbitration among @p reqs (size == requests()).
+     * Grants exactly one of the asserted requests (or none if all are
+     * false) and updates priority state.
+     */
+    virtual ArbitrationResult arbitrate(const std::vector<bool>& reqs) = 0;
+
+  protected:
+    /** Hamming distance of @p reqs against the remembered request
+     * vector, which is then updated. */
+    unsigned requestDelta(const std::vector<bool>& reqs);
+
+    unsigned requests_;
+
+  private:
+    std::vector<bool> lastReqs_;
+};
+
+/**
+ * Matrix arbiter: a triangular matrix of priority bits encoding a
+ * least-recently-served total order. The winner is the requester with
+ * priority over all other requesters; on a grant the winner drops to
+ * the bottom of the order (its row/column flip-flops toggle).
+ */
+class MatrixArbiter : public Arbiter
+{
+  public:
+    explicit MatrixArbiter(unsigned requests);
+
+    ArbitrationResult arbitrate(const std::vector<bool>& reqs) override;
+
+    /** True if requester @p i currently has priority over @p j. */
+    bool hasPriority(unsigned i, unsigned j) const;
+
+  private:
+    /** prio_[i][j]: i beats j. Full matrix kept for simplicity;
+     * antisymmetry is maintained as an invariant. */
+    std::vector<std::vector<bool>> prio_;
+};
+
+/**
+ * Round-robin arbiter: a rotating one-hot token; the winner is the
+ * first asserted request at or after the token, and the token then
+ * advances past the winner.
+ */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    explicit RoundRobinArbiter(unsigned requests);
+
+    ArbitrationResult arbitrate(const std::vector<bool>& reqs) override;
+
+    unsigned token() const { return token_; }
+
+  private:
+    unsigned token_ = 0;
+};
+
+/**
+ * Queuing arbiter: requesters are served strictly in the order their
+ * requests first arrived (a FIFO of requester ids, the paper's third
+ * arbiter style). A requester that withdraws its request leaves the
+ * queue when it reaches the front.
+ */
+class QueuingArbiter : public Arbiter
+{
+  public:
+    explicit QueuingArbiter(unsigned requests);
+
+    ArbitrationResult arbitrate(const std::vector<bool>& reqs) override;
+
+    std::size_t queueLength() const { return queue_.size(); }
+
+  private:
+    std::deque<unsigned> queue_;
+    std::vector<bool> queued_;
+};
+
+/** Construct an arbiter of the given behavioural kind. */
+std::unique_ptr<Arbiter> makeArbiter(ArbiterKind kind,
+                                     unsigned requests);
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_ARBITER_HH

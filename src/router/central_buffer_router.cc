@@ -1,0 +1,217 @@
+#include "router/central_buffer_router.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+CentralBufferRouter::CentralBufferRouter(
+    std::string name, int node, const RouterParams& params,
+    const CentralBufferRouterParams& cb, sim::EventBus& bus)
+    : Router(std::move(name), node, params, bus),
+      cb_(cb),
+      currentWrite_(params.ports, nullptr),
+      freeSlots_(cb.capacityFlits),
+      rowContents_(cb.capacityFlits, power::BitVec(params.flitBits)),
+      writeRow_(0)
+{
+    assert(params.vcs == 1 && "CB router input buffers are plain FIFOs");
+    assert(cb.capacityFlits >= params.packetLength);
+    assert(cb.writePorts >= 1 && cb.readPorts >= 1);
+
+    inputFifos_.reserve(params.ports);
+    for (unsigned p = 0; p < params.ports; ++p) {
+        inputFifos_.emplace_back(bus, node, static_cast<int>(p),
+                                 params.bufferDepth, params.flitBits);
+    }
+    outputQueues_.resize(params.ports);
+
+    writeArb_.reserve(cb.writePorts);
+    for (unsigned w = 0; w < cb.writePorts; ++w)
+        writeArb_.push_back(makeArbiter(params.arbiterKind,
+                                        params.ports));
+    readArb_.reserve(cb.readPorts);
+    for (unsigned r = 0; r < cb.readPorts; ++r)
+        readArb_.push_back(makeArbiter(params.arbiterKind,
+                                       params.ports));
+
+    lastWritten_.assign(cb.writePorts, power::BitVec(params.flitBits));
+    lastRead_.assign(cb.readPorts, power::BitVec(params.flitBits));
+}
+
+const FlitFifo&
+CentralBufferRouter::inputFifo(unsigned port) const
+{
+    assert(port < params_.ports);
+    return inputFifos_[port];
+}
+
+std::size_t
+CentralBufferRouter::outputQueueLength(unsigned port) const
+{
+    assert(port < params_.ports);
+    return outputQueues_[port].size();
+}
+
+void
+CentralBufferRouter::cycle(sim::Cycle now)
+{
+    receiveCredits();
+    readStage(now);
+    writeStage(now);
+    bwStage(now);
+}
+
+void
+CentralBufferRouter::readStage(sim::Cycle now)
+{
+    const unsigned ports = params_.ports;
+    std::vector<bool> used(ports, false);
+
+    for (unsigned r = 0; r < cb_.readPorts; ++r) {
+        std::vector<bool> reqs(ports, false);
+        bool any = false;
+        for (unsigned o = 0; o < ports; ++o) {
+            if (used[o] || outputQueues_[o].empty())
+                continue;
+            const CbPacket& pkt = *outputQueues_[o].front();
+            if (pkt.flits.empty())
+                continue;
+            const auto& [flit, ready_at] = pkt.flits.front();
+            if (ready_at > now)
+                continue;
+            const unsigned need = requiredSpace(
+                flit.head,
+                flit.head ? flit.routeHop().newRing : false, o);
+            if (outputCredits(o, 0) < need)
+                continue;
+            reqs[o] = true;
+            any = true;
+        }
+        if (!any)
+            continue;
+
+        const ArbitrationResult res = readArb_[r]->arbitrate(reqs);
+        assert(res.winner >= 0);
+        const auto o = static_cast<unsigned>(res.winner);
+        used[o] = true;
+        bus_.emit({sim::EventType::Arbitration, node(),
+                   static_cast<int>(ports + cb_.writePorts + r),
+                   res.deltaReq, res.deltaPri, now});
+
+        CbPacket& pkt = *outputQueues_[o].front();
+        Flit flit = std::move(pkt.flits.front().first);
+        pkt.flits.pop_front();
+        ++freeSlots_;
+
+        const unsigned delta =
+            power::hammingDistance(flit.payload, lastRead_[r]);
+        lastRead_[r] = flit.payload;
+        bus_.emit({sim::EventType::CentralBufferRead, node(),
+                   static_cast<int>(r), delta, 0, now});
+
+        outputCredits_[o]->consume(0);
+        flit.vc = 0;
+        if (flit.hop + 1 < flit.packet->route.size())
+            ++flit.hop;
+        const bool was_tail = flit.tail;
+
+        assert(outLinks_[o] && "flit routed to unconnected output");
+        outLinks_[o]->send(std::move(flit), bus_, now);
+
+        if (was_tail) {
+            assert(pkt.complete || pkt.flits.empty());
+            outputQueues_[o].pop_front();
+        }
+    }
+}
+
+void
+CentralBufferRouter::writeStage(sim::Cycle now)
+{
+    const unsigned ports = params_.ports;
+    // Eligibility is re-evaluated per write port: an earlier port's
+    // admission shrinks the pool, which can disqualify a later head.
+    std::vector<bool> granted(ports, false);
+    const auto eligible = [&](unsigned p) {
+        if (granted[p] || inputFifos_[p].empty())
+            return false;
+        const Flit& front = inputFifos_[p].front();
+        if (front.head) {
+            // Virtual cut-through admission: room for the whole
+            // packet.
+            assert(!currentWrite_[p]);
+            return freeSlots_ >= front.packet->length;
+        }
+        return currentWrite_[p] != nullptr;
+    };
+
+    for (unsigned w = 0; w < cb_.writePorts; ++w) {
+        std::vector<bool> reqs(ports, false);
+        bool pending = false;
+        for (unsigned p = 0; p < ports; ++p) {
+            reqs[p] = eligible(p);
+            pending = pending || reqs[p];
+        }
+        if (!pending)
+            break;
+
+        const ArbitrationResult res = writeArb_[w]->arbitrate(reqs);
+        assert(res.winner >= 0);
+        const auto p = static_cast<unsigned>(res.winner);
+        granted[p] = true;
+        bus_.emit({sim::EventType::Arbitration, node(),
+                   static_cast<int>(ports + w), res.deltaReq,
+                   res.deltaPri, now});
+
+        Flit flit = inputFifos_[p].read(now);
+        if (creditReturnLinks_[p]) {
+            creditReturnLinks_[p]->send(Credit{0}, bus_, now);
+        }
+
+        if (flit.head) {
+            const unsigned o = flit.routeHop().port;
+            assert(o != p && "u-turn in route");
+            assert(freeSlots_ >= flit.packet->length);
+            freeSlots_ -= flit.packet->length;
+            auto pkt = std::make_unique<CbPacket>();
+            currentWrite_[p] = pkt.get();
+            outputQueues_[o].push_back(std::move(pkt));
+        }
+        CbPacket* pkt = currentWrite_[p];
+        assert(pkt && "body flit with no admitted packet");
+
+        const unsigned delta_bits =
+            power::hammingDistance(flit.payload, lastWritten_[w]);
+        const unsigned delta_bc = power::flippedCells(
+            flit.payload, rowContents_[writeRow_]);
+        lastWritten_[w] = flit.payload;
+        rowContents_[writeRow_] = flit.payload;
+        writeRow_ = (writeRow_ + 1) % cb_.capacityFlits;
+        bus_.emit({sim::EventType::CentralBufferWrite, node(),
+                   static_cast<int>(w), delta_bits, delta_bc, now});
+
+        const bool was_tail = flit.tail;
+        pkt->flits.emplace_back(std::move(flit),
+                                now + cb_.pipelineLatency);
+        if (was_tail) {
+            pkt->complete = true;
+            currentWrite_[p] = nullptr;
+        }
+    }
+}
+
+void
+CentralBufferRouter::bwStage(sim::Cycle now)
+{
+    for (unsigned p = 0; p < params_.ports; ++p) {
+        FlitLink* in = inLinks_[p];
+        if (!in || !in->valid())
+            continue;
+        Flit flit = in->read();
+        assert(!inputFifos_[p].full() &&
+               "credit discipline violated: buffer overflow");
+        inputFifos_[p].write(std::move(flit), now);
+    }
+}
+
+} // namespace orion::router

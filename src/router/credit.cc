@@ -1,0 +1,62 @@
+#include "router/credit.hh"
+
+#include <limits>
+
+namespace orion::router {
+
+CreditCounter::CreditCounter(unsigned vcs, unsigned depth, bool unlimited)
+    : count_(vcs, depth), depth_(vcs, depth), unlimited_(unlimited)
+{
+    assert(vcs > 0);
+    assert(unlimited || depth > 0);
+}
+
+unsigned
+CreditCounter::available(unsigned vc) const
+{
+    assert(vc < count_.size());
+    if (unlimited_)
+        return std::numeric_limits<unsigned>::max();
+    return count_[vc];
+}
+
+bool
+CreditCounter::empty(unsigned vc) const
+{
+    assert(vc < count_.size());
+    return unlimited_ || count_[vc] == depth_[vc];
+}
+
+unsigned
+CreditCounter::emptyVcs() const
+{
+    if (unlimited_)
+        return static_cast<unsigned>(count_.size());
+    unsigned n = 0;
+    for (std::size_t v = 0; v < count_.size(); ++v)
+        if (count_[v] == depth_[v])
+            ++n;
+    return n;
+}
+
+void
+CreditCounter::consume(unsigned vc)
+{
+    assert(vc < count_.size());
+    if (unlimited_)
+        return;
+    assert(count_[vc] > 0 && "credit underflow");
+    --count_[vc];
+}
+
+void
+CreditCounter::restore(unsigned vc)
+{
+    assert(vc < count_.size());
+    if (unlimited_)
+        return;
+    assert(count_[vc] < depth_[vc] && "credit overflow");
+    ++count_[vc];
+}
+
+} // namespace orion::router

@@ -1,0 +1,36 @@
+#include "router/crossbar_switch.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+CrossbarSwitch::CrossbarSwitch(sim::EventBus& bus, int node,
+                               unsigned inputs, unsigned outputs,
+                               unsigned flit_bits)
+    : bus_(bus),
+      node_(node),
+      inputs_(inputs),
+      outputs_(outputs),
+      flitBits_(flit_bits),
+      lastOnOutput_(outputs, power::BitVec(flit_bits))
+{
+    assert(inputs > 0 && outputs > 0 && flit_bits > 0);
+}
+
+void
+CrossbarSwitch::traverse(unsigned in, unsigned out, const Flit& flit,
+                         sim::Cycle now)
+{
+    assert(in < inputs_ && out < outputs_);
+    assert(flit.payload.width() == flitBits_);
+    (void)in;
+
+    const unsigned delta =
+        power::hammingDistance(flit.payload, lastOnOutput_[out]);
+    lastOnOutput_[out] = flit.payload;
+
+    bus_.emit({sim::EventType::CrossbarTraversal, node_,
+               static_cast<int>(out), delta, 0, now});
+}
+
+} // namespace orion::router

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Behavioural crossbar switch — the functional twin of
+ * power::CrossbarModel.
+ *
+ * The crossbar connects input ports to output ports; a traversal
+ * carries one flit from an input to an output and emits a
+ * CrossbarTraversal event whose switching-activity delta is the real
+ * Hamming distance between the flit's payload and the previous value
+ * carried on that output's data wires (the paper's walkthrough: "The
+ * crossbar module emits a crossbar traversal event and the crossbar
+ * power model computes traversal energy E_xb").
+ */
+
+#ifndef ORION_ROUTER_CROSSBAR_SWITCH_HH
+#define ORION_ROUTER_CROSSBAR_SWITCH_HH
+
+#include <vector>
+
+#include "power/activity.hh"
+#include "router/flit.hh"
+#include "sim/event.hh"
+
+namespace orion::router {
+
+/** Behavioural crossbar with per-output last-value tracking. */
+class CrossbarSwitch
+{
+  public:
+    /**
+     * @param bus        event bus for power events
+     * @param node       owning node id
+     * @param inputs     number of input ports
+     * @param outputs    number of output ports
+     * @param flit_bits  datapath width
+     */
+    CrossbarSwitch(sim::EventBus& bus, int node, unsigned inputs,
+                   unsigned outputs, unsigned flit_bits);
+
+    unsigned inputs() const { return inputs_; }
+    unsigned outputs() const { return outputs_; }
+
+    /**
+     * Move @p flit from @p in to @p out, emitting a CrossbarTraversal
+     * event (component id = output port).
+     */
+    void traverse(unsigned in, unsigned out, const Flit& flit,
+                  sim::Cycle now);
+
+  private:
+    sim::EventBus& bus_;
+    int node_;
+    unsigned inputs_;
+    unsigned outputs_;
+    unsigned flitBits_;
+    std::vector<power::BitVec> lastOnOutput_;
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_CROSSBAR_SWITCH_HH

@@ -1,0 +1,78 @@
+#include "router/delay_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace orion::router {
+
+DelayModel::DelayModel(double clock_fo4)
+    : clockFo4_(clock_fo4)
+{
+    assert(clock_fo4 > 0.0);
+}
+
+double
+DelayModel::fo4Ps(const tech::TechNode& tech)
+{
+    // Standard rule of thumb: FO4 ~ 425 ps per um of drawn channel.
+    return 425.0 * tech.featureUm;
+}
+
+double
+DelayModel::arbiterDelayFo4(unsigned requests) const
+{
+    assert(requests >= 1);
+    // Two-level NOR grant logic: base gate delays plus logical effort
+    // growing with the log of the fan-in.
+    return 3.0 + 2.5 * std::log2(static_cast<double>(requests) + 1.0);
+}
+
+double
+DelayModel::vcAllocDelayFo4(unsigned ports, unsigned vcs) const
+{
+    assert(ports >= 2 && vcs >= 1);
+    // Per-output-VC arbitration among all (ports-1) x vcs input VCs.
+    return arbiterDelayFo4((ports - 1) * vcs);
+}
+
+double
+DelayModel::switchAllocDelayFo4(unsigned ports) const
+{
+    assert(ports >= 2);
+    // Request generation (2 FO4) plus per-output arbitration.
+    return 2.0 + arbiterDelayFo4(ports - 1);
+}
+
+double
+DelayModel::crossbarDelayFo4(unsigned ports, unsigned width) const
+{
+    assert(ports >= 2 && width >= 1);
+    // Input driver + crosspoint + output driver, with wire RC growing
+    // logarithmically thanks to repeater insertion; weak width term
+    // for the wider wiring span.
+    return 4.0 + 2.0 * std::log2(static_cast<double>(ports)) +
+           0.5 * std::log2(static_cast<double>(width));
+}
+
+unsigned
+DelayModel::stagesFor(double delay_fo4) const
+{
+    assert(delay_fo4 >= 0.0);
+    const auto stages =
+        static_cast<unsigned>(std::ceil(delay_fo4 / clockFo4_));
+    return stages == 0 ? 1 : stages;
+}
+
+unsigned
+DelayModel::pipelineDepth(bool has_va, unsigned ports, unsigned vcs,
+                          unsigned width) const
+{
+    unsigned depth = 0;
+    if (has_va)
+        depth += stagesFor(vcAllocDelayFo4(ports, vcs));
+    depth += stagesFor(switchAllocDelayFo4(ports));
+    depth += stagesFor(crossbarDelayFo4(ports, width));
+    return depth;
+}
+
+} // namespace orion::router

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Analytic router pipeline delay model.
+ *
+ * The paper pipelines its routers "in accordance to the router delay
+ * model proposed in [Peh-Dally HPCA'01]": atomic-module delays
+ * (arbitration, VC allocation, crossbar traversal) are estimated in
+ * fanout-of-4 (FO4) units from logical-effort-style expressions, and
+ * each module is assigned ceil(delay / clock period) pipeline stages.
+ * With a 20 FO4 clock this yields the paper's 3-stage virtual-channel
+ * pipeline (VA, SA, ST) and 2-stage wormhole pipeline (SA, ST).
+ *
+ * The exact Peh-Dally coefficients are not reproduced here; the
+ * expressions below are a logical-effort reconstruction calibrated so
+ * that every stage of the paper's configurations fits in one 20 FO4
+ * cycle (see DESIGN.md).
+ */
+
+#ifndef ORION_ROUTER_DELAY_MODEL_HH
+#define ORION_ROUTER_DELAY_MODEL_HH
+
+#include "tech/tech_node.hh"
+
+namespace orion::router {
+
+/** Analytic delay estimates for router pipeline stages. */
+class DelayModel
+{
+  public:
+    /**
+     * @param clock_fo4  clock period in FO4 units (20 is the typical
+     *                   aggressive value the paper's configs assume)
+     */
+    explicit DelayModel(double clock_fo4 = 20.0);
+
+    double clockFo4() const { return clockFo4_; }
+
+    /** FO4 delay in picoseconds for @p tech (~425 ps per um drawn). */
+    static double fo4Ps(const tech::TechNode& tech);
+
+    /** Delay of an R-way matrix arbitration, in FO4. */
+    double arbiterDelayFo4(unsigned requests) const;
+
+    /** Delay of VC allocation for P ports and V VCs per port, in FO4. */
+    double vcAllocDelayFo4(unsigned ports, unsigned vcs) const;
+
+    /** Delay of switch allocation for P ports, in FO4. */
+    double switchAllocDelayFo4(unsigned ports) const;
+
+    /** Delay of crossbar traversal for P ports, W bits, in FO4. */
+    double crossbarDelayFo4(unsigned ports, unsigned width) const;
+
+    /** Pipeline stages a module of @p delay_fo4 occupies. */
+    unsigned stagesFor(double delay_fo4) const;
+
+    /**
+     * Total pipeline depth of a router: VA (if @p has_va) + SA + ST,
+     * each at least one stage.
+     */
+    unsigned pipelineDepth(bool has_va, unsigned ports, unsigned vcs,
+                           unsigned width) const;
+
+  private:
+    double clockFo4_;
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_DELAY_MODEL_HH

@@ -1,0 +1,57 @@
+#include "router/fifo.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+FlitFifo::FlitFifo(sim::EventBus& bus, int node, int component,
+                   std::size_t capacity, unsigned flit_bits)
+    : bus_(bus),
+      node_(node),
+      component_(component),
+      capacity_(capacity),
+      flitBits_(flit_bits),
+      rowContents_(capacity, power::BitVec(flit_bits)),
+      lastWritten_(flit_bits)
+{
+    assert(capacity > 0 && flit_bits > 0);
+}
+
+void
+FlitFifo::write(Flit flit, sim::Cycle now)
+{
+    assert(!full());
+    assert(flit.payload.width() == flitBits_);
+
+    const unsigned delta_bw =
+        power::switchingWriteBitlines(flit.payload, lastWritten_);
+    const unsigned delta_bc =
+        power::flippedCells(flit.payload, rowContents_[writeRow_]);
+
+    lastWritten_ = flit.payload;
+    rowContents_[writeRow_] = flit.payload;
+    writeRow_ = (writeRow_ + 1) % capacity_;
+
+    bus_.emit({sim::EventType::BufferWrite, node_, component_, delta_bw,
+               delta_bc, now});
+    queue_.push_back(std::move(flit));
+}
+
+const Flit&
+FlitFifo::front() const
+{
+    assert(!empty());
+    return queue_.front();
+}
+
+Flit
+FlitFifo::read(sim::Cycle now)
+{
+    assert(!empty());
+    Flit f = std::move(queue_.front());
+    queue_.pop_front();
+    bus_.emit({sim::EventType::BufferRead, node_, component_, 0, 0, now});
+    return f;
+}
+
+} // namespace orion::router

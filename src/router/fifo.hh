@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Flit FIFO buffer with power-event emission.
+ *
+ * This is the behavioural twin of power::BufferModel: an SRAM-array
+ * FIFO of B flit slots. Every write emits a BufferWrite event carrying
+ * the monitored switching activity (delta_bw switching write bitlines,
+ * delta_bc flipped memory cells — computed against the write driver's
+ * last datum and the stale contents of the target row); every read
+ * emits a BufferRead event. This mirrors the paper's walkthrough: "The
+ * buffer module writes the flit into the tail of the FIFO buffer and
+ * emits a buffer write event, which triggers the buffer power model."
+ */
+
+#ifndef ORION_ROUTER_FIFO_HH
+#define ORION_ROUTER_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "power/activity.hh"
+#include "router/flit.hh"
+#include "sim/event.hh"
+
+namespace orion::router {
+
+/** A flit FIFO modeling one SRAM buffer (one VC of one input port). */
+class FlitFifo
+{
+  public:
+    /**
+     * @param bus        event bus for power events
+     * @param node       owning node id (stamped on events)
+     * @param component  component instance id (stamped on events)
+     * @param capacity   buffer depth in flits (B)
+     * @param flit_bits  flit width in bits (F)
+     */
+    FlitFifo(sim::EventBus& bus, int node, int component,
+             std::size_t capacity, unsigned flit_bits);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+    bool full() const { return queue_.size() >= capacity_; }
+    std::size_t freeSlots() const { return capacity_ - queue_.size(); }
+
+    /**
+     * Write @p flit into the tail slot; emits BufferWrite with the
+     * monitored delta_bw / delta_bc. The FIFO must not be full.
+     */
+    void write(Flit flit, sim::Cycle now);
+
+    /** The flit at the head (must not be empty). */
+    const Flit& front() const;
+
+    /**
+     * Pop and return the head flit; emits BufferRead.
+     */
+    Flit read(sim::Cycle now);
+
+  private:
+    sim::EventBus& bus_;
+    int node_;
+    int component_;
+    std::size_t capacity_;
+    unsigned flitBits_;
+
+    std::deque<Flit> queue_;
+    /** Stale contents of each SRAM row (ring-indexed). */
+    std::vector<power::BitVec> rowContents_;
+    /** Row the next write lands in. */
+    std::size_t writeRow_ = 0;
+    /** Last datum the write bitline drivers carried. */
+    power::BitVec lastWritten_;
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_FIFO_HH

@@ -1,0 +1,4 @@
+#include "router/flit.hh"
+
+// Flit and PacketInfo are plain data; this translation unit exists to
+// anchor the header in the build.

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Flit and packet types.
+ *
+ * "A flit is the smallest unit of flow control, and is a fixed-sized
+ * unit of a packet" (paper Section 3.3). Packets here are sequences of
+ * flits: a head flit carrying the source route, zero or more body
+ * flits, and a tail flit (the paper's experiments use 5-flit packets:
+ * one head leading 4 data flits).
+ *
+ * Flits carry real payload bits so downstream modules can compute
+ * genuine switching-activity deltas, and the source route as a list of
+ * per-hop (output port, VC class) decisions — the paper uses source
+ * dimension-ordered routing where "the route is encoded in a packet
+ * beforehand at source".
+ */
+
+#ifndef ORION_ROUTER_FLIT_HH
+#define ORION_ROUTER_FLIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "power/activity.hh"
+#include "sim/event.hh"
+
+namespace orion::router {
+
+/** One hop of a source route. */
+struct RouteHop
+{
+    /** Output port to take at this hop's router. */
+    std::uint8_t port;
+    /**
+     * VC class required on the downstream input buffer (dateline
+     * deadlock avoidance); always 0 when dateline is not in use.
+     */
+    std::uint8_t vcClass;
+    /**
+     * True if this hop enters a new ring (injection or dimension
+     * change) — used by bubble flow control, which demands space for
+     * two packets when entering a ring and one when continuing.
+     */
+    bool newRing;
+};
+
+/** Immutable per-packet data shared by all of a packet's flits. */
+struct PacketInfo
+{
+    std::uint64_t id;
+    int src;
+    int dst;
+    /** Cycle the packet was created (source queuing included). */
+    sim::Cycle createdAt;
+    /** Packet length in flits. */
+    unsigned length;
+    /** Whether this packet belongs to the measurement sample. */
+    bool sample;
+    /** The full source route, one hop per router on the path. */
+    std::vector<RouteHop> route;
+};
+
+/** A single flit in flight. */
+struct Flit
+{
+    /** Shared packet metadata (route, timestamps). */
+    std::shared_ptr<const PacketInfo> packet;
+    /** True for the packet's first flit. */
+    bool head = false;
+    /** True for the packet's last flit. */
+    bool tail = false;
+    /** Index of this flit within its packet (0 = head). */
+    unsigned seq = 0;
+    /**
+     * Index into packet->route of the router this flit is *arriving
+     * at*; incremented by each router when forwarding to the next.
+     */
+    unsigned hop = 0;
+    /** VC of the downstream input buffer, set by the sender. */
+    std::uint8_t vc = 0;
+    /** Payload bits (drives switching-activity accounting). */
+    power::BitVec payload;
+
+    /** The routing decision to apply at the current router. */
+    const RouteHop&
+    routeHop() const
+    {
+        return packet->route[hop];
+    }
+
+    /** True if the current router is the last on the path. */
+    bool
+    atLastHop() const
+    {
+        return hop + 1 == packet->route.size();
+    }
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_FLIT_HH

@@ -1,0 +1,40 @@
+#include "router/link.hh"
+
+namespace orion::router {
+
+FlitLink::FlitLink(int node, int component, unsigned flit_bits,
+                   bool emits_traversal)
+    : node_(node),
+      component_(component),
+      emitsTraversal_(emits_traversal),
+      lastPayload_(flit_bits)
+{
+}
+
+void
+FlitLink::send(Flit flit, sim::EventBus& bus, sim::Cycle now)
+{
+    if (emitsTraversal_) {
+        const unsigned delta =
+            power::hammingDistance(flit.payload, lastPayload_);
+        lastPayload_ = flit.payload;
+        bus.emit({sim::EventType::LinkTraversal, node_, component_,
+                  delta, 0, now});
+    }
+    write(std::move(flit));
+}
+
+CreditLink::CreditLink(int node, int component)
+    : node_(node), component_(component)
+{
+}
+
+void
+CreditLink::send(Credit credit, sim::EventBus& bus, sim::Cycle now)
+{
+    bus.emit({sim::EventType::CreditTransfer, node_, component_, 0, 0,
+              now});
+    write(credit);
+}
+
+} // namespace orion::router

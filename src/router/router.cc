@@ -1,0 +1,90 @@
+#include "router/router.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+Router::Router(std::string name, int node, const RouterParams& params,
+               sim::EventBus& bus)
+    : sim::Module(std::move(name), node),
+      params_(params),
+      bus_(bus),
+      inLinks_(params.ports, nullptr),
+      creditReturnLinks_(params.ports, nullptr),
+      outLinks_(params.ports, nullptr),
+      creditInLinks_(params.ports, nullptr),
+      outputCredits_(params.ports)
+{
+    assert(params.ports >= 2);
+    assert(params.vcs >= 1);
+    assert(params.bufferDepth >= 1);
+    assert(params.flitBits >= 1);
+    assert(params.packetLength >= 1);
+    // Flit-granular bubble (wormhole, CB) needs room for two packets
+    // in one buffer; slot-granular bubble (VC routers, vcs >= 2) only
+    // needs each VC to hold one whole packet. The common lower bound:
+    assert(params.deadlock != DeadlockMode::Bubble ||
+           params.bufferDepth >= params.packetLength);
+    assert(params.deadlock != DeadlockMode::Bubble || params.vcs >= 2 ||
+           params.bufferDepth >= 2 * params.packetLength);
+    assert(params.deadlock != DeadlockMode::Dateline || params.vcs >= 2);
+}
+
+void
+Router::connectInput(unsigned port, FlitLink* in,
+                     CreditLink* credit_return)
+{
+    assert(port < params_.ports);
+    inLinks_[port] = in;
+    creditReturnLinks_[port] = credit_return;
+}
+
+void
+Router::connectOutput(unsigned port, FlitLink* out,
+                      CreditLink* credit_in, unsigned downstream_vcs,
+                      unsigned downstream_depth, bool unlimited)
+{
+    assert(port < params_.ports);
+    outLinks_[port] = out;
+    creditInLinks_[port] = credit_in;
+    outputCredits_[port] = std::make_unique<CreditCounter>(
+        downstream_vcs, unlimited ? 1 : downstream_depth, unlimited);
+}
+
+unsigned
+Router::outputCredits(unsigned port, unsigned vc) const
+{
+    assert(port < params_.ports && outputCredits_[port]);
+    return outputCredits_[port]->available(vc);
+}
+
+void
+Router::receiveCredits()
+{
+    for (unsigned p = 0; p < params_.ports; ++p) {
+        auto* ch = creditInLinks_[p];
+        if (ch && ch->valid()) {
+            const Credit c = ch->read();
+            outputCredits_[p]->restore(c.vc);
+        }
+    }
+}
+
+bool
+Router::isLocalPort(unsigned port) const
+{
+    return port == params_.localPort();
+}
+
+unsigned
+Router::requiredSpace(bool is_head, bool new_ring,
+                      unsigned out_port) const
+{
+    if (!is_head || params_.deadlock != DeadlockMode::Bubble ||
+        isLocalPort(out_port)) {
+        return 1;
+    }
+    return new_ring ? 2 * params_.packetLength : params_.packetLength;
+}
+
+} // namespace orion::router

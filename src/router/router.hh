@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Router base class: port/link plumbing and credit bookkeeping shared
+ * by all router microarchitectures (wormhole, virtual-channel,
+ * central-buffered).
+ *
+ * Port convention (k-ary n-cube): for dimension d, port 2d is the
+ * "plus" direction, port 2d+1 the "minus" direction; the last port
+ * (index 2n) is the local injection/ejection port.
+ */
+
+#ifndef ORION_ROUTER_ROUTER_HH
+#define ORION_ROUTER_ROUTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "router/arbiter.hh"
+#include "router/credit.hh"
+#include "router/link.hh"
+#include "sim/event.hh"
+#include "sim/module.hh"
+
+namespace orion::router {
+
+/**
+ * Deadlock-avoidance discipline for rings (tori). The paper is silent
+ * on torus deadlock; see DESIGN.md for the substitution rationale.
+ */
+enum class DeadlockMode
+{
+    /** No avoidance — faithful to the paper's description. */
+    None,
+    /**
+     * Bubble rule: a head flit may enter a new ring only if the
+     * downstream buffer retains space for two full packets, and may
+     * continue within a ring only with space for one full packet.
+     * Requires buffer depth >= 2 packets; suited to wormhole routers
+     * with deep single buffers.
+     */
+    Bubble,
+    /**
+     * Dateline VC classes: packets whose ring traversal crosses the
+     * wraparound edge use the upper half of the VCs for that ring,
+     * others the lower half (classes are precomputed in the source
+     * route). Requires >= 2 VCs.
+     */
+    Dateline,
+};
+
+/** Common architectural parameters of a router. */
+struct RouterParams
+{
+    /** Total ports, including the local injection/ejection port. */
+    unsigned ports;
+    /** Virtual channels per input port (1 for wormhole). */
+    unsigned vcs;
+    /** Buffer depth per VC, in flits. */
+    unsigned bufferDepth;
+    /** Flit width in bits. */
+    unsigned flitBits;
+    /** Packet length in flits (for bubble-rule space checks). */
+    unsigned packetLength;
+    /** Ring deadlock-avoidance discipline. */
+    DeadlockMode deadlock = DeadlockMode::None;
+    /** Behavioural arbiter style for all of the router's arbiters. */
+    ArbiterKind arbiterKind = ArbiterKind::Matrix;
+    /**
+     * Speculative VC router pipeline (Peh-Dally [15], the paper's
+     * router delay model source): VC allocation and switch allocation
+     * run in the same cycle, so a head flit granted a VC can traverse
+     * the switch one cycle earlier — a 2-stage VC pipeline. Ignored
+     * by wormhole and central-buffer routers.
+     */
+    bool speculative = false;
+
+    /** Index of the local port (always the last one). */
+    unsigned localPort() const { return ports - 1; }
+};
+
+/** Base class wiring ports to links and tracking output credits. */
+class Router : public sim::Module
+{
+  public:
+    Router(std::string name, int node, const RouterParams& params,
+           sim::EventBus& bus);
+
+    const RouterParams& params() const { return params_; }
+
+    /**
+     * Attach input side of port @p port: flits arrive on @p in; freed
+     * buffer slots are returned upstream on @p credit_return.
+     * Either pointer may be null for unconnected ports (e.g. mesh
+     * edges); null inputs never deliver flits.
+     */
+    void connectInput(unsigned port, FlitLink* in,
+                      CreditLink* credit_return);
+
+    /**
+     * Attach output side of port @p port: flits leave on @p out;
+     * downstream credits arrive on @p credit_in.
+     *
+     * @param downstream_vcs    VC count of the downstream input buffer
+     * @param downstream_depth  its per-VC depth in flits
+     * @param unlimited         true for ejection ports (infinite sink)
+     */
+    void connectOutput(unsigned port, FlitLink* out,
+                       CreditLink* credit_in, unsigned downstream_vcs,
+                       unsigned downstream_depth, bool unlimited);
+
+    /** Credits available toward output @p port, VC @p vc. */
+    unsigned outputCredits(unsigned port, unsigned vc) const;
+
+  protected:
+    /** Drain credit-in channels and restore output credit counters. */
+    void receiveCredits();
+
+    /** True if @p port is the local ejection port. */
+    bool isLocalPort(unsigned port) const;
+
+    /**
+     * Minimum downstream space the bubble rule demands for a head flit
+     * leaving via @p out_port (1 packet within a ring, 2 when entering
+     * a new ring); 1 flit when bubble mode is off or the port is
+     * local.
+     */
+    unsigned requiredSpace(bool is_head, bool new_ring,
+                           unsigned out_port) const;
+
+    RouterParams params_;
+    sim::EventBus& bus_;
+
+    std::vector<FlitLink*> inLinks_;
+    std::vector<CreditLink*> creditReturnLinks_;
+    std::vector<FlitLink*> outLinks_;
+    std::vector<CreditLink*> creditInLinks_;
+    std::vector<std::unique_ptr<CreditCounter>> outputCredits_;
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_ROUTER_HH

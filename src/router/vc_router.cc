@@ -1,0 +1,389 @@
+#include "router/vc_router.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace orion::router {
+
+CrossbarRouter::CrossbarRouter(std::string name, int node,
+                               const RouterParams& params,
+                               sim::EventBus& bus, bool va_enabled)
+    : Router(std::move(name), node, params, bus),
+      vaEnabled_(va_enabled),
+      xbar_(bus, node, params.ports, params.ports, params.flitBits),
+      rrNextVc_(params.ports, 0),
+      vaScan_(params.ports, 0),
+      stLatch_(params.ports),
+      portFlits_(params.ports, 0),
+      saCand_(params.ports),
+      saReqs_(params.ports - 1, false),
+      vaBids_(params.ports * params.vcs),
+      vaReqs_((params.ports - 1) * params.vcs, false)
+{
+    assert(va_enabled || params.vcs == 1);
+
+    fifos_.resize(params.ports);
+    vcState_.resize(params.ports);
+    outVcBusy_.resize(params.ports);
+    for (unsigned p = 0; p < params.ports; ++p) {
+        fifos_[p].reserve(params.vcs);
+        for (unsigned v = 0; v < params.vcs; ++v) {
+            fifos_[p].emplace_back(bus, node,
+                                   static_cast<int>(p * params.vcs + v),
+                                   params.bufferDepth, params.flitBits);
+        }
+        vcState_[p].resize(params.vcs);
+        outVcBusy_[p].assign(params.vcs, false);
+    }
+
+    saArb_.reserve(params.ports);
+    for (unsigned o = 0; o < params.ports; ++o)
+        saArb_.push_back(makeArbiter(params.arbiterKind,
+                                     params.ports - 1));
+
+    if (vaEnabled_) {
+        vaArb_.resize(params.ports);
+        const unsigned va_reqs = (params.ports - 1) * params.vcs;
+        for (unsigned o = 0; o < params.ports; ++o) {
+            vaArb_[o].reserve(params.vcs);
+            for (unsigned v = 0; v < params.vcs; ++v) {
+                vaArb_[o].push_back(
+                    makeArbiter(params.arbiterKind, va_reqs));
+            }
+        }
+    }
+}
+
+const FlitFifo&
+CrossbarRouter::inputFifo(unsigned port, unsigned vc) const
+{
+    assert(port < params_.ports && vc < params_.vcs);
+    return fifos_[port][vc];
+}
+
+bool
+CrossbarRouter::outVcBusy(unsigned port, unsigned vc) const
+{
+    assert(port < params_.ports && vc < params_.vcs);
+    return outVcBusy_[port][vc];
+}
+
+std::size_t
+CrossbarRouter::bufferedFlits() const
+{
+    std::size_t n = 0;
+    for (const auto& port : fifos_)
+        for (const auto& fifo : port)
+            n += fifo.size();
+    return n;
+}
+
+void
+CrossbarRouter::cycle(sim::Cycle now)
+{
+    receiveCredits();
+    stStage(now);
+    if (vaEnabled_ && params_.speculative) {
+        // Speculative pipeline: VA runs before SA within the cycle,
+        // so a freshly allocated head can bid for (and win) the
+        // switch immediately — VA and SA share a pipeline stage.
+        vaStage(now);
+        saStage(now);
+    } else {
+        saStage(now);
+        if (vaEnabled_)
+            vaStage(now);
+    }
+    bwStage(now);
+}
+
+void
+CrossbarRouter::stStage(sim::Cycle now)
+{
+    for (unsigned o = 0; o < params_.ports; ++o) {
+        if (!stLatch_[o])
+            continue;
+        StEntry entry = std::move(*stLatch_[o]);
+        stLatch_[o].reset();
+        xbar_.traverse(entry.inPort, o, entry.flit, now);
+        assert(outLinks_[o] && "flit routed to unconnected output");
+        outLinks_[o]->send(std::move(entry.flit), bus_, now);
+    }
+}
+
+std::pair<unsigned, unsigned>
+CrossbarRouter::classVcRange(unsigned cls) const
+{
+    if (params_.deadlock == DeadlockMode::Dateline) {
+        const unsigned half = params_.vcs / 2;
+        return cls == 0 ? std::pair<unsigned, unsigned>{0u, half}
+                        : std::pair<unsigned, unsigned>{half, params_.vcs};
+    }
+    return {0u, params_.vcs};
+}
+
+std::optional<CrossbarRouter::Candidate>
+CrossbarRouter::pickCandidate(unsigned p)
+{
+    if (portFlits_[p] == 0)
+        return std::nullopt;
+    for (unsigned k = 0; k < params_.vcs; ++k) {
+        const unsigned v = (rrNextVc_[p] + k) % params_.vcs;
+        FlitFifo& fifo = fifos_[p][v];
+        if (fifo.empty())
+            continue;
+        VcState& st = vcState_[p][v];
+        const Flit& front = fifo.front();
+
+        if (st.phase == VcState::Phase::Active) {
+            // VC routers do their bubble-rule space reservation at VA
+            // (an empty VC was reserved for the whole packet), so SA
+            // only needs one credit; wormhole routers enforce the
+            // flit-granular bubble rule here.
+            const unsigned need =
+                vaEnabled_
+                    ? 1
+                    : requiredSpace(front.head, st.newRing, st.outPort);
+            if (outputCredits(st.outPort, st.outVc) >= need)
+                return Candidate{v, st.outPort, st.outVc, false};
+            continue;
+        }
+
+        // Wormhole mode: route setup and output claim happen at SA.
+        if (!vaEnabled_ && st.phase == VcState::Phase::Idle &&
+            front.head) {
+            const RouteHop& hop = front.routeHop();
+            const unsigned o = hop.port;
+            assert(o != p && "u-turn in route");
+            if (outVcBusy_[o][0])
+                continue;
+            const unsigned need =
+                requiredSpace(true, hop.newRing, o);
+            if (outputCredits(o, 0) >= need)
+                return Candidate{v, o, 0, true};
+        }
+    }
+    return std::nullopt;
+}
+
+void
+CrossbarRouter::saStage(sim::Cycle now)
+{
+    if (totalFlits_ == 0)
+        return;
+    const unsigned ports = params_.ports;
+
+    auto& cand = saCand_;
+    for (unsigned p = 0; p < ports; ++p)
+        cand[p] = pickCandidate(p);
+
+    for (unsigned o = 0; o < ports; ++o) {
+        auto& reqs = saReqs_;
+        std::fill(reqs.begin(), reqs.end(), false);
+        bool any = false;
+        for (unsigned p = 0; p < ports; ++p) {
+            if (p == o || !cand[p] || cand[p]->outPort != o)
+                continue;
+            reqs[saRequester(p, o)] = true;
+            any = true;
+        }
+        if (!any)
+            continue;
+
+        const ArbitrationResult res = saArb_[o]->arbitrate(reqs);
+        assert(res.winner >= 0);
+        bus_.emit({sim::EventType::Arbitration, node(),
+                   static_cast<int>(o), res.deltaReq, res.deltaPri,
+                   now});
+
+        // Undo the u-turn-free requester mapping.
+        unsigned p = static_cast<unsigned>(res.winner);
+        if (p >= o)
+            ++p;
+        const Candidate& c = *cand[p];
+        VcState& st = vcState_[p][c.vc];
+
+        if (c.claimOnGrant) {
+            // Wormhole: the head claims the output for the packet.
+            assert(!outVcBusy_[o][c.outVc]);
+            const RouteHop& hop = fifos_[p][c.vc].front().routeHop();
+            st.phase = VcState::Phase::Active;
+            st.outPort = hop.port;
+            st.outVc = c.outVc;
+            st.newRing = hop.newRing;
+            outVcBusy_[o][c.outVc] = true;
+        }
+
+        Flit flit = fifos_[p][c.vc].read(now);
+        --portFlits_[p];
+        --totalFlits_;
+        outputCredits_[o]->consume(c.outVc);
+        if (creditReturnLinks_[p]) {
+            creditReturnLinks_[p]->send(
+                Credit{static_cast<std::uint8_t>(c.vc)}, bus_, now);
+        }
+
+        flit.vc = static_cast<std::uint8_t>(c.outVc);
+        if (flit.hop + 1 < flit.packet->route.size())
+            ++flit.hop;
+
+        if (flit.tail) {
+            outVcBusy_[o][st.outVc] = false;
+            st.reset();
+        }
+
+        assert(!stLatch_[o]);
+        stLatch_[o] = StEntry{std::move(flit), p};
+        rrNextVc_[p] = (c.vc + 1) % params_.vcs;
+    }
+}
+
+void
+CrossbarRouter::vaStage(sim::Cycle now)
+{
+    if (totalFlits_ == 0)
+        return;
+    const unsigned ports = params_.ports;
+    const unsigned vcs = params_.vcs;
+
+    // 1. Heads newly at the front of their FIFOs enter WaitingVc.
+    for (unsigned p = 0; p < ports; ++p) {
+        if (portFlits_[p] == 0)
+            continue;
+        for (unsigned v = 0; v < vcs; ++v) {
+            VcState& st = vcState_[p][v];
+            const FlitFifo& fifo = fifos_[p][v];
+            if (st.phase != VcState::Phase::Idle || fifo.empty() ||
+                !fifo.front().head) {
+                continue;
+            }
+            const RouteHop& hop = fifo.front().routeHop();
+            assert(hop.port != p && "u-turn in route");
+            st.phase = VcState::Phase::WaitingVc;
+            st.outPort = hop.port;
+            st.vcClass = hop.vcClass;
+            st.newRing = hop.newRing;
+        }
+    }
+
+    // 2. Each waiting input VC bids for one free output VC of its
+    //    class; collect the bids per (output port, output VC).
+    //
+    //    Bubble mode (slot-granular virtual cut-through): a head may
+    //    only be allocated a *completely empty* downstream VC (atomic
+    //    VC allocation — the whole packet fits, VCT), and entering a
+    //    new ring additionally demands that a second downstream VC be
+    //    empty, so every ring always retains a free packet-slot
+    //    bubble. This is deadlock-free on tori without splitting the
+    //    VCs into dateline classes.
+    const bool bubble = params_.deadlock == DeadlockMode::Bubble;
+    auto& bids = vaBids_;
+    for (auto& b : bids)
+        b.clear();
+    for (unsigned p = 0; p < ports; ++p) {
+        if (portFlits_[p] == 0)
+            continue;
+        for (unsigned v = 0; v < vcs; ++v) {
+            VcState& st = vcState_[p][v];
+            if (st.phase != VcState::Phase::WaitingVc)
+                continue;
+            const auto [first, last] = classVcRange(st.vcClass);
+            const unsigned span = last - first;
+            assert(span > 0);
+            const unsigned o = st.outPort;
+            for (unsigned k = 0; k < span; ++k) {
+                const unsigned ov = first + (vaScan_[o] + k) % span;
+                if (outVcBusy_[o][ov])
+                    continue;
+                if (bubble && !isLocalPort(o) &&
+                    !outputCredits_[o]->empty(ov)) {
+                    continue;
+                }
+                bids[o * vcs + ov].emplace_back(p, v);
+                break;
+            }
+        }
+    }
+
+    // Downstream packet-slots still free at output @p o: completely
+    // empty VCs not already reserved by an earlier grant (busy flags
+    // are updated live as this cycle's grants land).
+    const auto free_slots = [&](unsigned o) {
+        unsigned n = 0;
+        for (unsigned ov = 0; ov < vcs; ++ov) {
+            if (!outVcBusy_[o][ov] && outputCredits_[o]->empty(ov))
+                ++n;
+        }
+        return n;
+    };
+
+    // 3. Arbitrate each contested output VC, enforcing the bubble
+    //    slot budget against grants already made this cycle.
+    const unsigned va_reqs = (ports - 1) * vcs;
+    for (unsigned o = 0; o < ports; ++o) {
+        bool granted_any = false;
+        for (unsigned ov = 0; ov < vcs; ++ov) {
+            if (bids[o * vcs + ov].empty())
+                continue;
+            if (bubble && !isLocalPort(o)) {
+                // Target slot must still be free, and ring entries
+                // must leave a bubble behind.
+                const unsigned remaining = free_slots(o);
+                if (remaining == 0)
+                    continue;
+                auto& candidates = bids[o * vcs + ov];
+                std::erase_if(candidates, [&](const auto& bid) {
+                    return vcState_[bid.first][bid.second].newRing &&
+                           remaining < 2;
+                });
+                if (candidates.empty())
+                    continue;
+            }
+            auto& reqs = vaReqs_;
+            assert(reqs.size() == va_reqs);
+            std::fill(reqs.begin(), reqs.end(), false);
+            for (const auto& [p, v] : bids[o * vcs + ov])
+                reqs[vaRequester(p, v, o)] = true;
+            const ArbitrationResult res =
+                vaArb_[o][ov]->arbitrate(reqs);
+            assert(res.winner >= 0);
+            bus_.emit({sim::EventType::VcAllocation, node(),
+                       static_cast<int>(o * vcs + ov), res.deltaReq,
+                       res.deltaPri, now});
+
+            // Undo the requester mapping.
+            const unsigned w = static_cast<unsigned>(res.winner);
+            unsigned p = w / vcs;
+            const unsigned v = w % vcs;
+            if (p >= o)
+                ++p;
+            VcState& st = vcState_[p][v];
+            assert(st.phase == VcState::Phase::WaitingVc);
+            st.phase = VcState::Phase::Active;
+            st.outVc = static_cast<std::uint8_t>(ov);
+            outVcBusy_[o][ov] = true;
+            granted_any = true;
+        }
+        if (granted_any)
+            vaScan_[o] = (vaScan_[o] + 1) % vcs;
+    }
+}
+
+void
+CrossbarRouter::bwStage(sim::Cycle now)
+{
+    for (unsigned p = 0; p < params_.ports; ++p) {
+        FlitLink* in = inLinks_[p];
+        if (!in || !in->valid())
+            continue;
+        Flit flit = in->read();
+        assert(flit.vc < params_.vcs);
+        assert(!fifos_[p][flit.vc].full() &&
+               "credit discipline violated: buffer overflow");
+        fifos_[p][flit.vc].write(std::move(flit), now);
+        ++portFlits_[p];
+        ++totalFlits_;
+    }
+}
+
+} // namespace orion::router

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The input-buffered crossbar router — the paper's wormhole and
+ * virtual-channel router microarchitectures in one parameterized
+ * module (Section 2.2: "wormhole and virtual-channel networks share
+ * exactly the same modules but with differently configured functional
+ * and timing behavior").
+ *
+ * Pipeline (per the Peh-Dally router delay model the paper adopts):
+ *  - Virtual-channel mode (vaEnabled): 3 stages — VC allocation (VA),
+ *    switch allocation (SA), crossbar traversal (ST).
+ *  - Wormhole mode (!vaEnabled, vcs = 1): 2 stages — switch
+ *    arbitration (SA, which also claims the output port for the
+ *    packet), crossbar traversal (ST).
+ *
+ * Within one cycle() call the stages run back-to-front (credits, ST,
+ * SA, VA, buffer write) so that each pipeline stage consumes state
+ * produced in the *previous* cycle, yielding exact n-stage timing.
+ *
+ * Every stage emits the power events of the paper's walkthrough:
+ * buffer write on arrival, arbitration at SA (and VC allocation at
+ * VA), buffer read on switch grant, crossbar traversal at ST, link
+ * traversal on departure, credit transfer upstream.
+ */
+
+#ifndef ORION_ROUTER_VC_ROUTER_HH
+#define ORION_ROUTER_VC_ROUTER_HH
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "router/arbiter.hh"
+#include "router/crossbar_switch.hh"
+#include "router/fifo.hh"
+#include "router/router.hh"
+#include "router/vc_state.hh"
+
+namespace orion::router {
+
+/** Input-buffered crossbar router (wormhole or virtual-channel). */
+class CrossbarRouter : public Router
+{
+  public:
+    /**
+     * @param va_enabled  true for the 3-stage virtual-channel
+     *                    pipeline, false for the 2-stage wormhole one
+     */
+    CrossbarRouter(std::string name, int node, const RouterParams& params,
+                   sim::EventBus& bus, bool va_enabled);
+
+    void cycle(sim::Cycle now) override;
+
+    /// @name Introspection (tests and debugging)
+    /// @{
+    const FlitFifo& inputFifo(unsigned port, unsigned vc) const;
+    bool outVcBusy(unsigned port, unsigned vc) const;
+    bool vaEnabled() const { return vaEnabled_; }
+    /** Flits currently buffered across all input FIFOs. */
+    std::size_t bufferedFlits() const;
+    /// @}
+
+  private:
+    /** A switch request an input port puts forward this cycle. */
+    struct Candidate
+    {
+        unsigned vc;
+        unsigned outPort;
+        unsigned outVc;
+        /** Wormhole: claim the output VC when the grant lands. */
+        bool claimOnGrant;
+    };
+
+    struct StEntry
+    {
+        Flit flit;
+        unsigned inPort;
+    };
+
+    void stStage(sim::Cycle now);
+    void saStage(sim::Cycle now);
+    void vaStage(sim::Cycle now);
+    void bwStage(sim::Cycle now);
+
+    /** Pick this cycle's switch request for input port @p p. */
+    std::optional<Candidate> pickCandidate(unsigned p);
+
+    /** VC index range [first, last) for dateline class @p cls. */
+    std::pair<unsigned, unsigned> classVcRange(unsigned cls) const;
+
+    /** SA requester index of input @p p at output @p o (u-turn-free). */
+    static unsigned
+    saRequester(unsigned p, unsigned o)
+    {
+        return p < o ? p : p - 1;
+    }
+
+    /** VA requester index of input VC (p, v) at output @p o. */
+    unsigned
+    vaRequester(unsigned p, unsigned v, unsigned o) const
+    {
+        return saRequester(p, o) * params_.vcs + v;
+    }
+
+    bool vaEnabled_;
+    CrossbarSwitch xbar_;
+
+    /** Input buffers, [port][vc]. */
+    std::vector<std::vector<FlitFifo>> fifos_;
+    /** Input VC control state, [port][vc]. */
+    std::vector<std::vector<VcState>> vcState_;
+    /** Output VC occupancy, [port][vc]. */
+    std::vector<std::vector<bool>> outVcBusy_;
+    /** Per-output switch arbiter (R = ports-1, u-turn excluded). */
+    std::vector<std::unique_ptr<Arbiter>> saArb_;
+    /** Per-output-VC allocation arbiter, [port][vc]. */
+    std::vector<std::vector<std::unique_ptr<Arbiter>>> vaArb_;
+    /** Round-robin VC scan start per input port. */
+    std::vector<unsigned> rrNextVc_;
+    /** Rotating free-VC scan start per output port. */
+    std::vector<unsigned> vaScan_;
+    /** SA -> ST pipeline latch, one slot per output port. */
+    std::vector<std::optional<StEntry>> stLatch_;
+
+    /** Flits buffered per input port (fast idle-port skip). */
+    std::vector<unsigned> portFlits_;
+    /** Total buffered flits (fast idle-router skip). */
+    unsigned totalFlits_ = 0;
+
+    /// @name Per-cycle workspaces (members to avoid re-allocation)
+    /// @{
+    std::vector<std::optional<Candidate>> saCand_;
+    std::vector<bool> saReqs_;
+    /** VA bids, flattened [outPort * vcs + outVc]. */
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> vaBids_;
+    std::vector<bool> vaReqs_;
+    /// @}
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_VC_ROUTER_HH

@@ -1,0 +1,3 @@
+#include "router/vc_state.hh"
+
+// VcState is plain data; this translation unit anchors the header.

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-virtual-channel control state.
+ *
+ * Each input VC walks a small state machine: Idle (no packet) ->
+ * WaitingVc (head at FIFO front, output port known from the source
+ * route, waiting for an output VC) -> Active (output VC allocated,
+ * flits may bid for the switch) -> back to Idle when the tail departs.
+ * Wormhole routers use the same state with vcs = 1 and skip WaitingVc.
+ */
+
+#ifndef ORION_ROUTER_VC_STATE_HH
+#define ORION_ROUTER_VC_STATE_HH
+
+#include <cstdint>
+
+namespace orion::router {
+
+/** State of one input virtual channel. */
+struct VcState
+{
+    enum class Phase : std::uint8_t
+    {
+        /** No packet being routed through this VC. */
+        Idle,
+        /** Head at FIFO front, awaiting output VC allocation. */
+        WaitingVc,
+        /** Output VC held; flits may request the switch. */
+        Active,
+    };
+
+    Phase phase = Phase::Idle;
+    /** Output port of the packet currently holding this VC. */
+    std::uint8_t outPort = 0;
+    /** Allocated output VC. */
+    std::uint8_t outVc = 0;
+    /** VC class the downstream VC must belong to. */
+    std::uint8_t vcClass = 0;
+    /** True if this hop enters a new ring (bubble rule applies). */
+    bool newRing = false;
+
+    void
+    reset()
+    {
+        phase = Phase::Idle;
+        outPort = 0;
+        outVc = 0;
+        vcClass = 0;
+        newRing = false;
+    }
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_VC_STATE_HH

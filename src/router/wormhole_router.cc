@@ -1,0 +1,16 @@
+#include "router/wormhole_router.hh"
+
+#include <cassert>
+
+namespace orion::router {
+
+WormholeRouter::WormholeRouter(std::string name, int node,
+                               const RouterParams& params,
+                               sim::EventBus& bus)
+    : CrossbarRouter(std::move(name), node, params, bus,
+                     /*va_enabled=*/false)
+{
+    assert(params.vcs == 1 && "wormhole routers have a single VC");
+}
+
+} // namespace orion::router

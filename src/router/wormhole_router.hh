@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Wormhole router: the 2-stage (switch arbitration, crossbar
+ * traversal) configuration of the crossbar router, with a single deep
+ * FIFO per input port (paper Sections 3.3 and 4.2, e.g. the WH64
+ * configuration with a 64-flit input buffer per port).
+ */
+
+#ifndef ORION_ROUTER_WORMHOLE_ROUTER_HH
+#define ORION_ROUTER_WORMHOLE_ROUTER_HH
+
+#include "router/vc_router.hh"
+
+namespace orion::router {
+
+/** Wormhole flow-control router (single VC, no VA stage). */
+class WormholeRouter : public CrossbarRouter
+{
+  public:
+    /**
+     * @param params  must have vcs == 1; deadlock mode Bubble is the
+     *                recommended torus setting (see DESIGN.md)
+     */
+    WormholeRouter(std::string name, int node, const RouterParams& params,
+                   sim::EventBus& bus);
+};
+
+} // namespace orion::router
+
+#endif // ORION_ROUTER_WORMHOLE_ROUTER_HH

@@ -1,0 +1,45 @@
+#include "sim/event.hh"
+
+namespace orion::sim {
+
+void
+EventBus::subscribe(EventType type, Listener fn)
+{
+    listeners_[static_cast<unsigned>(type)].push_back(std::move(fn));
+}
+
+void
+EventBus::emit(const Event& ev)
+{
+    const unsigned idx = static_cast<unsigned>(ev.type);
+    ++counts_[idx];
+    for (auto& fn : listeners_[idx])
+        fn(ev);
+}
+
+std::uint64_t
+EventBus::emittedCount(EventType type) const
+{
+    return counts_[static_cast<unsigned>(type)];
+}
+
+const char*
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::BufferWrite:        return "buffer_write";
+      case EventType::BufferRead:         return "buffer_read";
+      case EventType::Arbitration:        return "arbitration";
+      case EventType::VcAllocation:       return "vc_allocation";
+      case EventType::CrossbarTraversal:  return "crossbar_traversal";
+      case EventType::CentralBufferWrite: return "central_buffer_write";
+      case EventType::CentralBufferRead:  return "central_buffer_read";
+      case EventType::LinkTraversal:      return "link_traversal";
+      case EventType::CreditTransfer:     return "credit_transfer";
+      case EventType::PacketInjected:     return "packet_injected";
+      case EventType::PacketEjected:      return "packet_ejected";
+    }
+    return "unknown";
+}
+
+} // namespace orion::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The event subsystem the power models hook into.
+ *
+ * Paper Section 2.1: "The integration of power models is based on the
+ * event subsystem of LSE... Users define events associated with each
+ * module. Power models in the power simulation library are hooked to
+ * these events so when an event occurs during the execution, it
+ * triggers the specific power model, which calculates and accumulates
+ * the energy consumed."
+ *
+ * Modules emit typed Event records on a shared EventBus; listeners
+ * (notably net::PowerMonitor) subscribe per event type. Events carry
+ * the switching-activity deltas the energy equations need, already
+ * computed by the emitting module from real payload bits.
+ */
+
+#ifndef ORION_SIM_EVENT_HH
+#define ORION_SIM_EVENT_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace orion::sim {
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** Kinds of power-relevant events modules can emit. */
+enum class EventType : unsigned
+{
+    /** A flit was written into an input FIFO buffer. */
+    BufferWrite,
+    /** A flit was read out of an input FIFO buffer. */
+    BufferRead,
+    /** A switch/VC arbitration was performed. */
+    Arbitration,
+    /** A VC allocation arbitration was performed. */
+    VcAllocation,
+    /** A flit traversed the crossbar. */
+    CrossbarTraversal,
+    /** A flit was written into the central buffer. */
+    CentralBufferWrite,
+    /** A flit was read from the central buffer. */
+    CentralBufferRead,
+    /** A flit traversed an inter-router link. */
+    LinkTraversal,
+    /** A credit was returned upstream. */
+    CreditTransfer,
+    /** A packet entered the network (head flit created at source). */
+    PacketInjected,
+    /** A packet fully left the network (tail flit ejected at sink). */
+    PacketEjected,
+};
+
+/** Number of distinct event types. */
+constexpr unsigned kNumEventTypes =
+    static_cast<unsigned>(EventType::PacketEjected) + 1;
+
+/**
+ * One dynamic event. The two delta fields carry switching-activity
+ * counts whose meaning depends on the event type:
+ *
+ *  - BufferWrite:        deltaA = switching write bitlines (delta_bw),
+ *                        deltaB = flipped memory cells (delta_bc)
+ *  - Arbitration /
+ *    VcAllocation:       deltaA = changed request lines,
+ *                        deltaB = toggled priority flip-flops
+ *  - CrossbarTraversal / CentralBuffer* / LinkTraversal:
+ *                        deltaA = toggling data wires
+ *  - PacketEjected:      deltaA = packet latency in cycles
+ */
+struct Event
+{
+    EventType type;
+    /** Network node the emitting module belongs to (-1 if none). */
+    int node;
+    /** Component instance within the node (e.g. input port index). */
+    int component;
+    /** Switching-activity / payload field A (see above). */
+    std::uint32_t deltaA;
+    /** Switching-activity / payload field B (see above). */
+    std::uint32_t deltaB;
+    /** Cycle at which the event occurred. */
+    Cycle cycle;
+};
+
+/**
+ * Synchronous publish/subscribe bus. emit() dispatches to all
+ * listeners of the event's type immediately, in subscription order.
+ */
+class EventBus
+{
+  public:
+    using Listener = std::function<void(const Event&)>;
+
+    /** Subscribe @p fn to all events of type @p type. */
+    void subscribe(EventType type, Listener fn);
+
+    /** Publish @p ev to all subscribers of its type. */
+    void emit(const Event& ev);
+
+    /** Total events emitted, by type (includes unsubscribed types). */
+    std::uint64_t emittedCount(EventType type) const;
+
+  private:
+    std::array<std::vector<Listener>, kNumEventTypes> listeners_;
+    std::array<std::uint64_t, kNumEventTypes> counts_{};
+};
+
+/** Human-readable name of an event type (for reports/tests). */
+const char* eventTypeName(EventType type);
+
+} // namespace orion::sim
+
+#endif // ORION_SIM_EVENT_HH

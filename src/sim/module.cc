@@ -1,0 +1,10 @@
+#include "sim/module.hh"
+
+namespace orion::sim {
+
+Module::Module(std::string name, int node)
+    : name_(std::move(name)), node_(node)
+{
+}
+
+} // namespace orion::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Module base class and registered channels — the structural modeling
+ * layer (paper Section 2.1).
+ *
+ * "In LSE, physical hardware blocks are modeled as logical functional
+ * modules that communicate through ports. Data is sent between module
+ * ports via message passing."
+ *
+ * Here a Module is a named hardware block with a per-cycle evaluate
+ * hook; Channel<T> is a 1-cycle registered point-to-point port pair
+ * (write this cycle, readable next cycle). Registering every
+ * inter-module connection breaks all combinational cycles, making
+ * evaluation order within a cycle irrelevant across modules.
+ */
+
+#ifndef ORION_SIM_MODULE_HH
+#define ORION_SIM_MODULE_HH
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/event.hh"
+
+namespace orion::sim {
+
+class Simulator;
+
+/** Base class for all hardware modules. */
+class Module
+{
+  public:
+    /**
+     * @param name  hierarchical instance name (for reports)
+     * @param node  network node id this module belongs to (-1 if none)
+     */
+    Module(std::string name, int node);
+    virtual ~Module() = default;
+
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    const std::string& name() const { return name_; }
+    int node() const { return node_; }
+
+    /**
+     * Evaluate one cycle. Modules may read channel values (registered
+     * last cycle) and write channel inputs (visible next cycle).
+     */
+    virtual void cycle(Cycle now) = 0;
+
+  private:
+    std::string name_;
+    int node_;
+};
+
+/**
+ * A 1-cycle registered wire carrying at most one message per cycle.
+ *
+ * The producer calls write() during its cycle() evaluation; the
+ * consumer sees the message via read() during the *next* cycle, after
+ * the simulator advances all channels at the cycle boundary.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    /** Stage a message for delivery next cycle. At most one per cycle. */
+    void
+    write(T msg)
+    {
+        assert(!staged_.has_value() && "channel written twice in a cycle");
+        staged_ = std::move(msg);
+    }
+
+    /** True if a message is available this cycle. */
+    bool valid() const { return current_.has_value(); }
+
+    /** The message delivered this cycle (valid() must be true). */
+    const T&
+    peek() const
+    {
+        assert(current_.has_value());
+        return *current_;
+    }
+
+    /** Consume and return this cycle's message. */
+    T
+    read()
+    {
+        assert(current_.has_value());
+        T v = std::move(*current_);
+        current_.reset();
+        return v;
+    }
+
+    /**
+     * Advance the register: called by the simulator between cycles.
+     * An unconsumed message stays available; a new message arriving
+     * while one is still pending is an overrun (consumers must drain
+     * at least as fast as producers send — one per cycle).
+     */
+    void
+    advance()
+    {
+        if (!staged_.has_value())
+            return;
+        assert(!current_.has_value() &&
+               "channel overrun: message not consumed");
+        current_ = std::move(staged_);
+        staged_.reset();
+    }
+
+    /** True if something was staged this cycle (producer-side query). */
+    bool staged() const { return staged_.has_value(); }
+
+  private:
+    std::optional<T> staged_;
+    std::optional<T> current_;
+};
+
+/** Type-erased hook for the simulator to advance channels. */
+class ChannelBase
+{
+  public:
+    virtual ~ChannelBase() = default;
+    virtual void advanceChannel() = 0;
+};
+
+/** Adapter registering a Channel<T> with the simulator. */
+template <typename T>
+class RegisteredChannel : public ChannelBase, public Channel<T>
+{
+  public:
+    void advanceChannel() override { this->advance(); }
+};
+
+} // namespace orion::sim
+
+#endif // ORION_SIM_MODULE_HH

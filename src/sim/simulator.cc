@@ -1,0 +1,45 @@
+#include "sim/simulator.hh"
+
+namespace orion::sim {
+
+void
+Simulator::add(Module* m)
+{
+    modules_.push_back(m);
+}
+
+void
+Simulator::addChannel(ChannelBase* c)
+{
+    channels_.push_back(c);
+}
+
+void
+Simulator::step()
+{
+    for (auto* m : modules_)
+        m->cycle(now_);
+    for (auto* c : channels_)
+        c->advanceChannel();
+    ++now_;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()>& done, Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        step();
+        if (done())
+            return true;
+    }
+    return done();
+}
+
+} // namespace orion::sim

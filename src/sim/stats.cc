@@ -1,0 +1,77 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace orion::sim {
+
+void
+Accumulator::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : binWidth_(bin_width), bins_(num_bins, 0)
+{
+    assert(bin_width > 0.0 && num_bins > 0);
+}
+
+void
+Histogram::add(double v)
+{
+    ++total_;
+    if (v < 0.0) {
+        ++bins_[0];
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / binWidth_);
+    if (idx >= bins_.size())
+        ++overflow_;
+    else
+        ++bins_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return (i + 1) * binWidth_;
+    }
+    return bins_.size() * binWidth_;
+}
+
+} // namespace orion::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, running accumulators and
+ * fixed-bin histograms, used by the network layer to collect latency
+ * and throughput numbers.
+ */
+
+#ifndef ORION_SIM_STATS_HH
+#define ORION_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace orion::sim {
+
+/** Running mean / min / max / count accumulator. */
+class Accumulator
+{
+  public:
+    void add(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width-bin histogram with an overflow bin. */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width  width of each bin (> 0)
+     * @param num_bins   number of regular bins; values beyond go into
+     *                   the overflow bin
+     */
+    Histogram(double bin_width, std::size_t num_bins);
+
+    void add(double v);
+    void reset();
+
+    std::uint64_t binCount(std::size_t i) const { return bins_[i]; }
+    std::uint64_t overflowCount() const { return overflow_; }
+    std::size_t numBins() const { return bins_.size(); }
+    double binWidth() const { return binWidth_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Value below which fraction @p q of samples fall (approximate). */
+    double quantile(double q) const;
+
+  private:
+    double binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace orion::sim
+
+#endif // ORION_SIM_STATS_HH

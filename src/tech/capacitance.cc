@@ -1,0 +1,32 @@
+#include "tech/capacitance.hh"
+
+#include <cassert>
+
+namespace orion::tech {
+
+double
+cg(const TechNode& tech, const Transistor& t)
+{
+    return tech.cgPerUm * t.widthUm;
+}
+
+double
+cd(const TechNode& tech, const Transistor& t)
+{
+    return tech.cdPerUm * t.widthUm;
+}
+
+double
+ca(const TechNode& tech, const Transistor& t)
+{
+    return cg(tech, t) + cd(tech, t);
+}
+
+double
+cw(const TechNode& tech, double length_um)
+{
+    assert(length_um >= 0.0);
+    return tech.cwPerUm * length_um;
+}
+
+} // namespace orion::tech

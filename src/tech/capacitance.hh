@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Capacitance primitives: the C_g(T), C_d(T), C_a(T) and C_w(L) of the
+ * paper's Table 1, plus the E_x = 1/2 C_x Vdd^2 energy-per-switch rule.
+ *
+ * Every parameterized capacitance equation in the power models is a sum
+ * of these four primitives evaluated on sized transistors and wire
+ * lengths.
+ */
+
+#ifndef ORION_TECH_CAPACITANCE_HH
+#define ORION_TECH_CAPACITANCE_HH
+
+#include "tech/tech_node.hh"
+#include "tech/transistor.hh"
+
+namespace orion::tech {
+
+/** Gate capacitance C_g(T) of transistor @p t, in farads. */
+double cg(const TechNode& tech, const Transistor& t);
+
+/** Diffusion capacitance C_d(T) of transistor @p t, in farads. */
+double cd(const TechNode& tech, const Transistor& t);
+
+/** Total capacitance C_a(T) = C_g(T) + C_d(T), in farads. */
+double ca(const TechNode& tech, const Transistor& t);
+
+/** Capacitance C_w(L) of a wire of @p length_um micrometres. */
+double cw(const TechNode& tech, double length_um);
+
+} // namespace orion::tech
+
+#endif // ORION_TECH_CAPACITANCE_HH

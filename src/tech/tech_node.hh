@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Technology node description: the substrate the Orion power models are
+ * built on.
+ *
+ * The original Orion obtained per-transistor gate/diffusion capacitances
+ * and per-length wire capacitance from Cacti [Wilton-Jouppi 94], applied
+ * with Wattch-style linear scaling between feature sizes. This module is
+ * a self-contained equivalent: a TechNode carries the handful of
+ * technology constants every capacitance equation in the power models
+ * needs, with presets for common nodes and a scaling rule.
+ *
+ * Units used throughout the library:
+ *  - lengths and widths: micrometres (um)
+ *  - capacitance: farads (F)
+ *  - energy: joules (J)
+ *  - voltage: volts (V)
+ *  - frequency: hertz (Hz)
+ */
+
+#ifndef ORION_TECH_TECH_NODE_HH
+#define ORION_TECH_TECH_NODE_HH
+
+namespace orion::tech {
+
+/**
+ * A CMOS technology node, described by the constants the
+ * architectural-level capacitance equations consume.
+ *
+ * The default 0.1 um node matches the paper's Section 4.2 experimental
+ * setup: Vdd = 1.2 V, 2 GHz, and a wire capacitance of 0.36 fF/um
+ * (which reproduces the paper's quoted on-chip link capacitance of
+ * 1.08 pF per 3 mm exactly).
+ */
+struct TechNode
+{
+    /** Drawn feature size in um (e.g. 0.1). */
+    double featureUm;
+    /** Supply voltage in volts. */
+    double vdd;
+    /** Nominal clock frequency in Hz. */
+    double freqHz;
+
+    /** Gate capacitance per um of transistor width (F/um). */
+    double cgPerUm;
+    /** Drain/source diffusion capacitance per um of width (F/um). */
+    double cdPerUm;
+    /** Wire capacitance per um of length (F/um). */
+    double cwPerUm;
+
+    /** SRAM cell height in um (the h_cell of Table 2). */
+    double cellHeightUm;
+    /** SRAM cell width in um (the w_cell of Table 2). */
+    double cellWidthUm;
+    /** Wire pitch / spacing per routed wire in um (the d_w of Table 2). */
+    double wirePitchUm;
+
+    /**
+     * Fanout (logical-effort stage effort) used when sizing a driver
+     * for a given load: the driver's input capacitance is
+     * load / stageEffort.
+     */
+    double stageEffort;
+
+    /** Energy of one full swing of capacitance @p cap: 1/2 C Vdd^2. */
+    double switchEnergy(double cap) const { return 0.5 * cap * vdd * vdd; }
+
+    /** Clock period in seconds. */
+    double cyclePeriod() const { return 1.0 / freqHz; }
+
+    /**
+     * The paper's on-chip experiments: 0.1 um, 1.2 V, 2 GHz
+     * (Section 4.2).
+     */
+    static TechNode onChip100nm();
+
+    /**
+     * The paper's chip-to-chip experiments: same 0.1 um process but
+     * routers clocked at 1 GHz (Section 4.4).
+     */
+    static TechNode chipToChip100nm();
+
+    /**
+     * Build a node at an arbitrary feature size by linearly scaling the
+     * 0.1 um reference (Wattch-style first-order scaling): geometric
+     * quantities scale with feature size, per-um capacitance densities
+     * are held, and the caller supplies Vdd and frequency.
+     *
+     * @param feature_um  target drawn feature size in um (> 0)
+     * @param vdd         supply voltage in volts (> 0)
+     * @param freq_hz     clock frequency in Hz (> 0)
+     */
+    static TechNode scaled(double feature_um, double vdd, double freq_hz);
+};
+
+} // namespace orion::tech
+
+#endif // ORION_TECH_TECH_NODE_HH

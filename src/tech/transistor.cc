@@ -1,0 +1,56 @@
+#include "tech/transistor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace orion::tech {
+
+namespace {
+
+/**
+ * Default widths in multiples of the drawn feature size. Values are
+ * Cacti-flavoured: pass devices a few features wide, precharge devices
+ * wider, logic gates modest.
+ */
+double
+defaultWidthMultiple(Role role)
+{
+    switch (role) {
+      case Role::MemoryPass:           return 3.0;
+      case Role::WordlineDriver:       return 12.0;
+      case Role::BitlineDriver:        return 12.0;
+      case Role::Precharge:            return 10.0;
+      case Role::MemoryCellInverter:   return 2.5;
+      case Role::SenseAmp:             return 6.0;
+      case Role::CrossbarCrosspoint:   return 8.0;
+      case Role::CrossbarInputDriver:  return 16.0;
+      case Role::CrossbarOutputDriver: return 16.0;
+      case Role::MuxTreePass:          return 6.0;
+      case Role::ArbiterNor1:          return 4.0;
+      case Role::ArbiterNor2:          return 4.0;
+      case Role::ArbiterInverter:      return 3.0;
+      case Role::FlipFlopInverter:     return 3.0;
+      case Role::Minimum:              return 2.0;
+    }
+    return 2.0;
+}
+
+} // namespace
+
+Transistor
+defaultTransistor(const TechNode& tech, Role role)
+{
+    return Transistor{defaultWidthMultiple(role) * tech.featureUm, role};
+}
+
+Transistor
+sizeDriverForLoad(const TechNode& tech, Role role, double load_cap_f)
+{
+    assert(load_cap_f >= 0.0);
+    const double min_width = 2.0 * tech.featureUm;
+    const double width =
+        load_cap_f / (tech.stageEffort * tech.cgPerUm);
+    return Transistor{std::max(width, min_width), role};
+}
+
+} // namespace orion::tech

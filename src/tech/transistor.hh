@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Transistor sizing for the Orion power models.
+ *
+ * The paper: "Transistor sizes can be user-input parameters, or
+ * automatically determined by Orion with a set of default values from
+ * Cacti and applied with scaling factors from Wattch. Sizes of driver
+ * transistors, e.g. crossbar input drivers, are computed according to
+ * their load capacitance."
+ *
+ * A Transistor here is just a width (in um) plus the role it plays;
+ * capacitance.hh turns widths into Cg/Cd/Ca values.
+ */
+
+#ifndef ORION_TECH_TRANSISTOR_HH
+#define ORION_TECH_TRANSISTOR_HH
+
+#include "tech/tech_node.hh"
+
+namespace orion::tech {
+
+/**
+ * The circuit role a transistor plays. Roles carry Cacti-flavoured
+ * default widths (expressed in multiples of the feature size) so that
+ * power models can be instantiated without the user supplying any
+ * transistor sizes.
+ */
+enum class Role
+{
+    /** SRAM pass transistor connecting bitlines and cells (T_p). */
+    MemoryPass,
+    /** Wordline driver (T_wd) — normally sized for its load instead. */
+    WordlineDriver,
+    /** Write bitline driver (T_bd). */
+    BitlineDriver,
+    /** Read bitline precharge transistor (T_c). */
+    Precharge,
+    /** Memory cell cross-coupled inverter transistor (T_m). */
+    MemoryCellInverter,
+    /** Sense amplifier input transistor. */
+    SenseAmp,
+    /** Crossbar crosspoint pass transistor / tri-state connector. */
+    CrossbarCrosspoint,
+    /** Crossbar input driver (T_id) — normally sized for load. */
+    CrossbarInputDriver,
+    /** Crossbar output driver (T_od) — normally sized for load. */
+    CrossbarOutputDriver,
+    /** 2:1 multiplexer transistor inside a mux-tree crossbar. */
+    MuxTreePass,
+    /** First-level NOR gate in the arbiter grant logic (T_N1). */
+    ArbiterNor1,
+    /** Second-level NOR gate in the arbiter grant logic (T_N2). */
+    ArbiterNor2,
+    /** Inverter in arbiter logic (T_I). */
+    ArbiterInverter,
+    /** Flip-flop internal inverter. */
+    FlipFlopInverter,
+    /** Minimum-size device, for anything not otherwise covered. */
+    Minimum,
+};
+
+/** A sized transistor (or, for gates, an input of a sized gate). */
+struct Transistor
+{
+    /** Channel width in um. */
+    double widthUm;
+    /** Circuit role, used only for introspection/printing. */
+    Role role;
+};
+
+/**
+ * Default transistor for @p role in technology @p tech, using the
+ * built-in Cacti-flavoured width table.
+ */
+Transistor defaultTransistor(const TechNode& tech, Role role);
+
+/**
+ * Size a driver so it can drive @p load_cap_f within one
+ * logical-effort stage: the returned transistor's gate capacitance is
+ * load_cap_f / tech.stageEffort (clamped below at minimum size).
+ *
+ * @param tech        technology node
+ * @param role        role recorded on the returned transistor
+ * @param load_cap_f  load capacitance in farads
+ */
+Transistor sizeDriverForLoad(const TechNode& tech, Role role,
+                             double load_cap_f);
+
+} // namespace orion::tech
+
+#endif // ORION_TECH_TRANSISTOR_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the arbiter power models (Table 4): capacitance
+ * composition, the E_xb_ctr coupling rule, per-kind priority state,
+ * and sweeps over requester counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/arbiter_model.hh"
+#include "power/crossbar_model.hh"
+#include "tech/capacitance.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+const TechNode kTech = TechNode::onChip100nm();
+
+TEST(MatrixArbiterModel, PriorityFlipFlopCount)
+{
+    // R(R-1)/2 triangular matrix.
+    EXPECT_EQ(ArbiterModel(kTech, {4, ArbiterKind::Matrix, 0.0})
+                  .priorityFlipFlops(),
+              6u);
+    EXPECT_EQ(ArbiterModel(kTech, {16, ArbiterKind::Matrix, 0.0})
+                  .priorityFlipFlops(),
+              120u);
+}
+
+TEST(RoundRobinArbiterModel, PriorityFlipFlopCount)
+{
+    EXPECT_EQ(ArbiterModel(kTech, {8, ArbiterKind::RoundRobin, 0.0})
+                  .priorityFlipFlops(),
+              8u);
+}
+
+TEST(MatrixArbiterModel, RequestCapFansOutToNorGates)
+{
+    // C_req = (R-1) C_g(T_N1) + wire.
+    const unsigned r = 6;
+    const ArbiterModel m(kTech, {r, ArbiterKind::Matrix, 0.0});
+    const Transistor n1 = defaultTransistor(kTech, Role::ArbiterNor1);
+    const double wire = cw(kTech, r * kTech.wirePitchUm);
+    EXPECT_DOUBLE_EQ(m.requestCap(),
+                     (r - 1) * cg(kTech, n1) + wire);
+}
+
+TEST(MatrixArbiterModel, GrantIncludesCrossbarControlCap)
+{
+    // E_xb_ctr is folded into E_arb: the grant line capacitance must
+    // grow exactly by the crossbar control cap.
+    const CrossbarModel xbar(kTech, {5, 5, 256, CrossbarKind::Matrix,
+                                     0.0});
+    const ArbiterModel with(kTech,
+                            {4, ArbiterKind::Matrix, xbar.controlCap()});
+    const ArbiterModel without(kTech, {4, ArbiterKind::Matrix, 0.0});
+    EXPECT_NEAR(with.grantCap() - without.grantCap(), xbar.controlCap(),
+                1e-20);
+    // And grant energy is charged on every arbitration (no activity
+    // factor): even a zero-delta arbitration pays it.
+    EXPECT_NEAR(with.arbitrationEnergy(0, 0) -
+                    without.arbitrationEnergy(0, 0),
+                kTech.switchEnergy(xbar.controlCap()), 1e-18);
+}
+
+TEST(MatrixArbiterModel, EnergyLinearInDeltas)
+{
+    const ArbiterModel m(kTech, {4, ArbiterKind::Matrix, 0.0});
+    const double e0 = m.arbitrationEnergy(0, 0);
+    const double e_req = m.arbitrationEnergy(1, 0) - e0;
+    const double e_pri = m.arbitrationEnergy(0, 1) - e0;
+    EXPECT_GT(e_req, 0.0);
+    EXPECT_GT(e_pri, 0.0);
+    EXPECT_NEAR(m.arbitrationEnergy(3, 2), e0 + 3 * e_req + 2 * e_pri,
+                1e-18);
+}
+
+TEST(MatrixArbiterModel, AvgEnergyUsesHalfRequestsAndFullRowFlip)
+{
+    const unsigned r = 8;
+    const ArbiterModel m(kTech, {r, ArbiterKind::Matrix, 0.0});
+    EXPECT_DOUBLE_EQ(m.avgArbitrationEnergy(),
+                     m.arbitrationEnergy(r / 2, r - 1));
+}
+
+TEST(RoundRobinArbiterModel, AvgEnergyMovesTokenTwoFlips)
+{
+    const ArbiterModel m(kTech, {8, ArbiterKind::RoundRobin, 0.0});
+    EXPECT_DOUBLE_EQ(m.avgArbitrationEnergy(), m.arbitrationEnergy(4, 2));
+}
+
+TEST(QueuingArbiterModel, UsesFifoEnergies)
+{
+    // The queuing arbiter is modeled hierarchically on the FIFO buffer
+    // model: a grant always pays at least one queue read.
+    const ArbiterModel m(kTech, {8, ArbiterKind::Queuing, 0.0});
+    const BufferModel queue(kTech, BufferParams{8, 3, 1, 1});
+    EXPECT_GT(m.arbitrationEnergy(0, 0), queue.readEnergy() * 0.99);
+    // A request change also pays a queue write.
+    EXPECT_GT(m.arbitrationEnergy(1, 0), m.arbitrationEnergy(0, 0));
+}
+
+TEST(ArbiterModel, GrantAlwaysCosts)
+{
+    // Exactly one grant per arbitration: energy never reaches zero.
+    for (const auto kind : {ArbiterKind::Matrix, ArbiterKind::RoundRobin,
+                            ArbiterKind::Queuing}) {
+        const ArbiterModel m(kTech, {4, kind, 0.0});
+        EXPECT_GT(m.arbitrationEnergy(0, 0), 0.0);
+    }
+}
+
+/** Sweep over requester counts. */
+class ArbiterSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ArbiterSweep, EnergyGrowsWithRequesters)
+{
+    const unsigned r = GetParam();
+    for (const auto kind :
+         {ArbiterKind::Matrix, ArbiterKind::RoundRobin}) {
+        const ArbiterModel small(kTech, {r, kind, 0.0});
+        const ArbiterModel big(kTech, {2 * r, kind, 0.0});
+        EXPECT_GT(big.avgArbitrationEnergy(),
+                  small.avgArbitrationEnergy());
+    }
+}
+
+TEST_P(ArbiterSweep, ArbiterIsOrdersBelowDatapath)
+{
+    // The paper's Figure 5(c): arbiter power is < 1% of node power.
+    // Per-op: one arbitration must cost far less than one 256-bit
+    // buffer read (the 5% bound here is generous — at the paper's
+    // R = 4 the ratio is well below 1%).
+    const unsigned r = GetParam();
+    const ArbiterModel arb(kTech, {r, ArbiterKind::Matrix, 0.0});
+    const BufferModel buf(kTech, BufferParams{16, 256, 1, 1});
+    const double bound = r <= 16 ? 0.05 : 0.10;
+    EXPECT_LT(arb.avgArbitrationEnergy(), bound * buf.readEnergy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Requesters, ArbiterSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the FIFO buffer power model: each Table 2 equation is
+ * recomputed independently here and checked against the model, plus
+ * monotonicity/property sweeps over the architectural parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/buffer_model.hh"
+#include "tech/capacitance.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+const TechNode kTech = TechNode::onChip100nm();
+
+TEST(BufferModel, WordlineLengthMatchesTable2)
+{
+    // L_wl = F (w_cell + 2 (P_r + P_w) d_w)
+    const BufferParams p{16, 64, 2, 1};
+    const BufferModel m(kTech, p);
+    const double expect =
+        64.0 * (kTech.cellWidthUm + 2.0 * 3.0 * kTech.wirePitchUm);
+    EXPECT_DOUBLE_EQ(m.wordlineLengthUm(), expect);
+}
+
+TEST(BufferModel, BitlineLengthMatchesTable2)
+{
+    // L_bl = B (h_cell + (P_r + P_w) d_w)
+    const BufferParams p{16, 64, 2, 1};
+    const BufferModel m(kTech, p);
+    const double expect =
+        16.0 * (kTech.cellHeightUm + 3.0 * kTech.wirePitchUm);
+    EXPECT_DOUBLE_EQ(m.bitlineLengthUm(), expect);
+}
+
+TEST(BufferModel, WordlineCapMatchesTable2)
+{
+    // C_wl = 2 F C_g(T_p) + C_a(T_wd) + C_w(L_wl), with T_wd sized for
+    // the pass-gate + wire load.
+    const BufferParams p{8, 32, 1, 1};
+    const BufferModel m(kTech, p);
+
+    const Transistor t_p = defaultTransistor(kTech, Role::MemoryPass);
+    const double wire = cw(kTech, m.wordlineLengthUm());
+    const double load = 2.0 * 32.0 * cg(kTech, t_p) + wire;
+    const Transistor t_wd =
+        sizeDriverForLoad(kTech, Role::WordlineDriver, load);
+    const double expect =
+        2.0 * 32.0 * cg(kTech, t_p) + ca(kTech, t_wd) + wire;
+    EXPECT_DOUBLE_EQ(m.wordlineCap(), expect);
+}
+
+TEST(BufferModel, BitlineCapsMatchTable2)
+{
+    const BufferParams p{8, 32, 1, 1};
+    const BufferModel m(kTech, p);
+
+    const Transistor t_p = defaultTransistor(kTech, Role::MemoryPass);
+    const Transistor t_c = defaultTransistor(kTech, Role::Precharge);
+    const Transistor t_bd = defaultTransistor(kTech, Role::BitlineDriver);
+    const double wire = cw(kTech, m.bitlineLengthUm());
+
+    // C_br = B C_d(T_p) + C_d(T_c) + C_w(L_bl)
+    EXPECT_DOUBLE_EQ(m.readBitlineCap(),
+                     8.0 * cd(kTech, t_p) + cd(kTech, t_c) + wire);
+    // C_bw = B C_d(T_p) + C_a(T_bd) + C_w(L_bl)
+    EXPECT_DOUBLE_EQ(m.writeBitlineCap(),
+                     8.0 * cd(kTech, t_p) + ca(kTech, t_bd) + wire);
+}
+
+TEST(BufferModel, PrechargeAndCellCapsMatchTable2)
+{
+    const BufferParams p{8, 32, 2, 2};
+    const BufferModel m(kTech, p);
+    const Transistor t_p = defaultTransistor(kTech, Role::MemoryPass);
+    const Transistor t_c = defaultTransistor(kTech, Role::Precharge);
+    const Transistor t_m =
+        defaultTransistor(kTech, Role::MemoryCellInverter);
+    // C_chg = C_g(T_c)
+    EXPECT_DOUBLE_EQ(m.prechargeCap(), cg(kTech, t_c));
+    // C_cell = 2 (P_r + P_w) C_d(T_p) + 2 C_a(T_m)
+    EXPECT_DOUBLE_EQ(m.cellCap(),
+                     2.0 * 4.0 * cd(kTech, t_p) + 2.0 * ca(kTech, t_m));
+}
+
+TEST(BufferModel, ReadEnergyCompositionMatchesTable2)
+{
+    // E_read = E_wl + F (E_br + 2 E_chg + E_amp)
+    const BufferParams p{16, 128, 1, 1};
+    const BufferModel m(kTech, p);
+    const double e_wl = kTech.switchEnergy(m.wordlineCap());
+    const double e_br = kTech.switchEnergy(m.readBitlineCap());
+    const double e_chg = kTech.switchEnergy(m.prechargeCap());
+    const double expect =
+        e_wl + 128.0 * (e_br + 2.0 * e_chg + m.senseAmpEnergy());
+    EXPECT_DOUBLE_EQ(m.readEnergy(), expect);
+}
+
+TEST(BufferModel, WriteEnergyLinearInDeltas)
+{
+    // E_wrt = E_wl + delta_bw E_bw + delta_bc E_cell
+    const BufferParams p{16, 128, 1, 1};
+    const BufferModel m(kTech, p);
+    const double e_wl = kTech.switchEnergy(m.wordlineCap());
+    const double e_bw = kTech.switchEnergy(m.writeBitlineCap());
+    const double e_cell = kTech.switchEnergy(m.cellCap());
+
+    EXPECT_DOUBLE_EQ(m.writeEnergy(0, 0), e_wl);
+    EXPECT_DOUBLE_EQ(m.writeEnergy(10, 3),
+                     e_wl + 10.0 * e_bw + 3.0 * e_cell);
+    EXPECT_DOUBLE_EQ(m.writeEnergy(128, 128),
+                     e_wl + 128.0 * e_bw + 128.0 * e_cell);
+}
+
+TEST(BufferModel, AvgWriteUsesHalfBitlinesQuarterCells)
+{
+    const BufferParams p{16, 128, 1, 1};
+    const BufferModel m(kTech, p);
+    EXPECT_DOUBLE_EQ(m.avgWriteEnergy(), m.writeEnergy(64, 32));
+}
+
+TEST(BufferModel, AreaIsWordlineTimesBitline)
+{
+    const BufferParams p{64, 256, 1, 1};
+    const BufferModel m(kTech, p);
+    EXPECT_DOUBLE_EQ(m.areaUm2(),
+                     m.wordlineLengthUm() * m.bitlineLengthUm());
+}
+
+/** Monotonicity sweeps: deeper/wider/more-ported buffers cost more. */
+class BufferMonotonicity
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BufferMonotonicity, ReadEnergyGrowsWithDepth)
+{
+    const auto [flits, bits] = GetParam();
+    const BufferModel small(kTech, {flits, bits, 1, 1});
+    const BufferModel big(kTech, {2 * flits, bits, 1, 1});
+    EXPECT_GT(big.readEnergy(), small.readEnergy());
+    EXPECT_GT(big.avgWriteEnergy(), small.avgWriteEnergy());
+    EXPECT_GT(big.areaUm2(), small.areaUm2());
+}
+
+TEST_P(BufferMonotonicity, ReadEnergyGrowsWithWidth)
+{
+    const auto [flits, bits] = GetParam();
+    const BufferModel narrow(kTech, {flits, bits, 1, 1});
+    const BufferModel wide(kTech, {flits, 2 * bits, 1, 1});
+    EXPECT_GT(wide.readEnergy(), narrow.readEnergy());
+    EXPECT_GT(wide.areaUm2(), narrow.areaUm2());
+}
+
+TEST_P(BufferMonotonicity, PortsIncreaseCost)
+{
+    const auto [flits, bits] = GetParam();
+    const BufferModel one(kTech, {flits, bits, 1, 1});
+    const BufferModel two(kTech, {flits, bits, 2, 2});
+    EXPECT_GT(two.readEnergy(), one.readEnergy());
+    EXPECT_GT(two.cellCap(), one.cellCap());
+    EXPECT_GT(two.areaUm2(), one.areaUm2());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BufferMonotonicity,
+    ::testing::Values(std::tuple{4u, 32u}, std::tuple{8u, 64u},
+                      std::tuple{16u, 128u}, std::tuple{64u, 256u},
+                      std::tuple{268u, 32u}, std::tuple{2560u, 32u}));
+
+TEST(BufferModel, PaperConfigEnergiesAreSanePicojoules)
+{
+    // WH64 input buffer: 64 flits x 256 bits. Energies should land in
+    // the picojoule decade expected of 0.1 um SRAM of this size — a
+    // coarse absolute-sanity guard against unit slips.
+    const BufferModel m(kTech, {64, 256, 1, 1});
+    EXPECT_GT(m.readEnergy(), 1e-12);
+    EXPECT_LT(m.readEnergy(), 1e-9);
+    EXPECT_GT(m.avgWriteEnergy(), 1e-13);
+    EXPECT_LT(m.avgWriteEnergy(), 1e-9);
+}
+
+} // namespace

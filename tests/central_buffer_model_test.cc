@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the hierarchical central buffer model (paper Section 3.2):
+ * composition out of the FIFO, flip-flop, and crossbar sub-models, and
+ * the paper's Section 4.4 configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/central_buffer_model.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+const TechNode kTech = TechNode::chipToChip100nm();
+
+/** The paper's CB configuration: 4 banks, 2560 rows, 2R/2W, 5 ports. */
+CentralBufferParams
+paperConfig()
+{
+    return CentralBufferParams{4, 2560, 32, 2, 2, 5, 2};
+}
+
+TEST(CentralBufferModel, ReusesBankBufferModel)
+{
+    const CentralBufferModel m(kTech, paperConfig());
+    const BufferModel bank(kTech, BufferParams{2560, 32, 2, 2});
+    EXPECT_DOUBLE_EQ(m.bankModel().readEnergy(), bank.readEnergy());
+    EXPECT_DOUBLE_EQ(m.bankModel().areaUm2(), bank.areaUm2());
+}
+
+TEST(CentralBufferModel, CrossbarsMatchPortCounts)
+{
+    const CentralBufferModel m(kTech, paperConfig());
+    EXPECT_EQ(m.writeCrossbar().params().inputs, 5u);
+    EXPECT_EQ(m.writeCrossbar().params().outputs, 2u);
+    EXPECT_EQ(m.readCrossbar().params().inputs, 2u);
+    EXPECT_EQ(m.readCrossbar().params().outputs, 5u);
+}
+
+TEST(CentralBufferModel, WriteEnergyComposes)
+{
+    const CentralBufferModel m(kTech, paperConfig());
+    const FlipFlopModel ff(kTech);
+    const unsigned bits = 16;
+    const double expect =
+        m.writeCrossbar().traversalEnergy(bits) +
+        2.0 * bits * ff.flipEnergy() +
+        m.bankModel().writeEnergy(bits, 8);
+    EXPECT_DOUBLE_EQ(m.writeEnergy(bits, bits, 8), expect);
+}
+
+TEST(CentralBufferModel, ReadEnergyComposes)
+{
+    const CentralBufferModel m(kTech, paperConfig());
+    const FlipFlopModel ff(kTech);
+    const unsigned bits = 16;
+    const double expect = m.bankModel().readEnergy() +
+                          2.0 * bits * ff.flipEnergy() +
+                          m.readCrossbar().traversalEnergy(bits);
+    EXPECT_DOUBLE_EQ(m.readEnergy(bits), expect);
+}
+
+TEST(CentralBufferModel, AreaSumsBanksAndCrossbars)
+{
+    const CentralBufferModel m(kTech, paperConfig());
+    const double expect = 4.0 * m.bankModel().areaUm2() +
+                          m.writeCrossbar().areaUm2() +
+                          m.readCrossbar().areaUm2();
+    EXPECT_DOUBLE_EQ(m.areaUm2(), expect);
+}
+
+TEST(CentralBufferModel, DeepBanksCostMoreThanSmallInputBuffers)
+{
+    // The paper's Figure 7 insight: central-buffer accesses swing much
+    // more capacitance than small input-FIFO accesses, so CB routers
+    // burn more power despite similar area.
+    const CentralBufferModel cb(kTech, paperConfig());
+    const BufferModel input_fifo(kTech, BufferParams{64, 32, 1, 1});
+    EXPECT_GT(cb.avgReadEnergy(), 3.0 * input_fifo.readEnergy());
+    EXPECT_GT(cb.avgWriteEnergy(), 3.0 * input_fifo.avgWriteEnergy());
+}
+
+TEST(CentralBufferModel, EnergyGrowsWithRows)
+{
+    const CentralBufferParams small{4, 256, 32, 2, 2, 5, 2};
+    const CentralBufferParams big{4, 2560, 32, 2, 2, 5, 2};
+    const CentralBufferModel ms(kTech, small);
+    const CentralBufferModel mb(kTech, big);
+    EXPECT_GT(mb.avgReadEnergy(), ms.avgReadEnergy());
+    EXPECT_GT(mb.areaUm2(), ms.areaUm2());
+}
+
+TEST(CentralBufferModel, PipelineStagesAddRegisterEnergy)
+{
+    CentralBufferParams two = paperConfig();
+    CentralBufferParams four = paperConfig();
+    four.pipelineStages = 4;
+    const CentralBufferModel m2(kTech, two);
+    const CentralBufferModel m4(kTech, four);
+    EXPECT_GT(m4.readEnergy(16), m2.readEnergy(16));
+    // Zero toggling bits -> identical (registers don't flip).
+    EXPECT_DOUBLE_EQ(m4.readEnergy(0), m2.readEnergy(0));
+}
+
+} // namespace

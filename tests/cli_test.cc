@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the command-line front end: option parsing, preset and
+ * override composition, error reporting, and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cli.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::cli;
+
+TEST(CliParse, DefaultsToVc16Preset)
+{
+    const Options o = parse({});
+    EXPECT_EQ(o.network.net.vcs, 2u);
+    EXPECT_EQ(o.network.net.bufferDepth, 8u);
+    EXPECT_DOUBLE_EQ(o.traffic.injectionRate, 0.05);
+    EXPECT_FALSE(o.csv);
+    EXPECT_FALSE(o.helpRequested);
+}
+
+TEST(CliParse, HelpShortCircuits)
+{
+    EXPECT_TRUE(parse({"--help"}).helpRequested);
+    EXPECT_TRUE(parse({"-h"}).helpRequested);
+    // Even with other (possibly bad) options after it.
+    EXPECT_TRUE(parse({"--help", "--bogus"}).helpRequested);
+    EXPECT_FALSE(usage().empty());
+}
+
+TEST(CliParse, PresetSelection)
+{
+    EXPECT_EQ(parse({"--preset", "wh64"}).network.net.routerKind,
+              net::RouterKind::Wormhole);
+    EXPECT_EQ(parse({"--preset", "cb"}).network.net.routerKind,
+              net::RouterKind::CentralBuffer);
+    EXPECT_EQ(parse({"--preset", "xb"}).network.net.vcs, 16u);
+    EXPECT_THROW(parse({"--preset", "nope"}), std::invalid_argument);
+}
+
+TEST(CliParse, OverridesComposeWithPreset)
+{
+    const Options o = parse({"--preset", "vc64", "--buffer", "16",
+                             "--rate", "0.12", "--seed", "7"});
+    EXPECT_EQ(o.network.net.vcs, 8u);
+    EXPECT_EQ(o.network.net.bufferDepth, 16u);
+    EXPECT_DOUBLE_EQ(o.traffic.injectionRate, 0.12);
+    EXPECT_EQ(o.sim.seed, 7u);
+}
+
+TEST(CliParse, DimsAndMesh)
+{
+    const Options o = parse({"--dims", "8x8", "--mesh"});
+    EXPECT_EQ(o.network.net.dims, (std::vector<unsigned>{8, 8}));
+    EXPECT_FALSE(o.network.net.wrap);
+    EXPECT_EQ(o.network.net.deadlock, router::DeadlockMode::None);
+
+    const Options o3 = parse({"--dims", "2x3x4", "--vcs", "2",
+                              "--deadlock", "dateline"});
+    EXPECT_EQ(o3.network.net.dims, (std::vector<unsigned>{2, 3, 4}));
+
+    EXPECT_THROW(parse({"--dims", "4xx4"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--dims", "abc"}), std::invalid_argument);
+}
+
+TEST(CliParse, Patterns)
+{
+    EXPECT_EQ(parse({"--pattern", "tornado"}).traffic.pattern,
+              net::TrafficPattern::Tornado);
+    EXPECT_EQ(parse({"--pattern", "hotspot", "--hotspot", "9",
+                     "--hotspot-frac", "0.4"})
+                  .traffic.hotspotFraction,
+              0.4);
+    EXPECT_THROW(parse({"--pattern", "nope"}), std::invalid_argument);
+}
+
+TEST(CliParse, RejectsUnknownAndMalformed)
+{
+    EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--rate"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--rate", "fast"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--sample", "-3"}), std::invalid_argument);
+}
+
+TEST(CliParse, ValidatesComposedConfig)
+{
+    // Individually fine options composing into an invalid network
+    // must be rejected at parse time.
+    EXPECT_THROW(parse({"--preset", "wh64", "--vcs", "2"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--rate", "1.7"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--preset", "wh64", "--buffer", "4"}),
+                 std::invalid_argument);
+}
+
+TEST(CliParse, TraceFileErrorsSurface)
+{
+    EXPECT_THROW(parse({"--pattern", "trace", "--trace",
+                        "/nonexistent/file.txt"}),
+                 std::runtime_error);
+    EXPECT_THROW(parse({"--pattern", "trace"}), std::invalid_argument);
+}
+
+TEST(CliReport, TextReportContainsKeyNumbers)
+{
+    Options o = parse({"--sample", "400", "--rate", "0.05"});
+    o.sim.maxCycles = 100000;
+    Simulation s(o.network, o.traffic, o.sim);
+    const Report r = s.run();
+    const std::string text = formatReport(o, r);
+    EXPECT_NE(text.find("completed"), std::string::npos);
+    EXPECT_NE(text.find("latency mean"), std::string::npos);
+    EXPECT_NE(text.find("network power"), std::string::npos);
+}
+
+TEST(CliReport, CsvReportRoundTrips)
+{
+    Options o = parse({"--sample", "400", "--rate", "0.05", "--csv"});
+    o.sim.maxCycles = 100000;
+    Simulation s(o.network, o.traffic, o.sim);
+    const Report r = s.run();
+    const std::string csv = formatCsvReport(o, r);
+    // Header + one data row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find("rate,completed,deadlock"), std::string::npos);
+    EXPECT_NE(csv.find("0.0500,1,0"), std::string::npos);
+}
+
+TEST(CliParse, ArbiterInjectionTieBreakOptions)
+{
+    const Options o = parse({"--arbiter", "rr", "--injection", "spread",
+                             "--tie-break", "prefer-wrap"});
+    EXPECT_EQ(o.network.net.arbiterKind,
+              router::ArbiterKind::RoundRobin);
+    EXPECT_EQ(o.network.net.injection,
+              net::InjectionPolicy::SpreadVcs);
+    EXPECT_EQ(o.network.net.tieBreak, net::TieBreak::PreferWrap);
+
+    EXPECT_THROW(parse({"--arbiter", "x"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--injection", "x"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--tie-break", "x"}), std::invalid_argument);
+}
+
+TEST(CliParse, SpeculativeFlag)
+{
+    EXPECT_FALSE(parse({}).network.net.speculative);
+    EXPECT_TRUE(parse({"--speculative"}).network.net.speculative);
+}
+
+TEST(CliParse, BreakdownFlag)
+{
+    EXPECT_TRUE(parse({"--breakdown"}).breakdown);
+}
+
+TEST(RateSpec, ParsesEvenlySpacedRates)
+{
+    const auto rates = parseRateSpec("0.02:0.10:5");
+    ASSERT_EQ(rates.size(), 5u);
+    EXPECT_DOUBLE_EQ(rates.front(), 0.02);
+    EXPECT_DOUBLE_EQ(rates.back(), 0.10);
+    EXPECT_NEAR(rates[2], 0.06, 1e-12);
+}
+
+TEST(RateSpec, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseRateSpec("abc"), std::invalid_argument);
+    EXPECT_THROW(parseRateSpec("0.1:0.05:4"), std::invalid_argument);
+    EXPECT_THROW(parseRateSpec("0:0.1:4"), std::invalid_argument);
+    EXPECT_THROW(parseRateSpec("0.01:0.1:1"), std::invalid_argument);
+    EXPECT_THROW(parseRateSpec("0.01:0.1:4x"), std::invalid_argument);
+    EXPECT_THROW(parseRateSpec("0.01:0.1"), std::invalid_argument);
+}
+
+} // namespace

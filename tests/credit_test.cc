@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for credit-based flow control state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/credit.hh"
+
+namespace {
+
+using orion::router::CreditCounter;
+
+TEST(CreditCounter, StartsFull)
+{
+    const CreditCounter c(2, 8);
+    EXPECT_EQ(c.vcs(), 2u);
+    EXPECT_EQ(c.available(0), 8u);
+    EXPECT_EQ(c.available(1), 8u);
+}
+
+TEST(CreditCounter, ConsumeRestoreRoundTrip)
+{
+    CreditCounter c(1, 4);
+    c.consume(0);
+    c.consume(0);
+    EXPECT_EQ(c.available(0), 2u);
+    c.restore(0);
+    EXPECT_EQ(c.available(0), 3u);
+}
+
+TEST(CreditCounter, VcsAreIndependent)
+{
+    CreditCounter c(3, 5);
+    c.consume(1);
+    c.consume(1);
+    EXPECT_EQ(c.available(0), 5u);
+    EXPECT_EQ(c.available(1), 3u);
+    EXPECT_EQ(c.available(2), 5u);
+}
+
+TEST(CreditCounter, UnlimitedNeverDepletes)
+{
+    CreditCounter c(1, 0, /*unlimited=*/true);
+    for (int i = 0; i < 1000; ++i)
+        c.consume(0);
+    EXPECT_GT(c.available(0), 1000000u);
+    c.restore(0); // no-op, no overflow
+}
+
+TEST(CreditCounterDeath, UnderflowAsserts)
+{
+    CreditCounter c(1, 1);
+    c.consume(0);
+    EXPECT_DEATH(c.consume(0), "credit underflow");
+}
+
+TEST(CreditCounterDeath, OverflowAsserts)
+{
+    CreditCounter c(1, 2);
+    EXPECT_DEATH(c.restore(0), "credit overflow");
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the crossbar power models (Table 3): matrix geometry and
+ * capacitance composition, mux-tree comparison, control energy, and
+ * parameter sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/crossbar_model.hh"
+#include "tech/capacitance.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+const TechNode kTech = TechNode::onChip100nm();
+
+TEST(MatrixCrossbar, LineLengthsFollowGrid)
+{
+    // Input lines cross O output columns of W wires; output lines
+    // cross I input rows (at doubled track pitch).
+    const CrossbarModel m(kTech, {5, 5, 256, CrossbarKind::Matrix, 0.0});
+    const double pitch = 2.0 * kTech.wirePitchUm;
+    EXPECT_DOUBLE_EQ(m.inputLengthUm(), 5.0 * 256.0 * pitch);
+    EXPECT_DOUBLE_EQ(m.outputLengthUm(), 5.0 * 256.0 * pitch);
+    EXPECT_DOUBLE_EQ(m.areaUm2(),
+                     m.inputLengthUm() * m.outputLengthUm());
+}
+
+TEST(MatrixCrossbar, AsymmetricPortsGiveAsymmetricLines)
+{
+    const CrossbarModel m(kTech, {3, 7, 64, CrossbarKind::Matrix, 0.0});
+    EXPECT_GT(m.inputLengthUm(), m.outputLengthUm() * 2.0);
+}
+
+TEST(MatrixCrossbar, InputCapComposition)
+{
+    const CrossbarParams p{4, 4, 32, CrossbarKind::Matrix, 0.0};
+    const CrossbarModel m(kTech, p);
+
+    const Transistor t_cross =
+        defaultTransistor(kTech, Role::CrossbarCrosspoint);
+    const double wire_and_diff =
+        cw(kTech, m.inputLengthUm()) + 4.0 * cd(kTech, t_cross);
+    const Transistor t_id = sizeDriverForLoad(
+        kTech, Role::CrossbarInputDriver, wire_and_diff);
+    EXPECT_DOUBLE_EQ(m.inputCap(), wire_and_diff + cd(kTech, t_id));
+}
+
+TEST(MatrixCrossbar, OutputCapIncludesSizedDriverGate)
+{
+    const double load = 500e-15;
+    const CrossbarParams p{4, 4, 32, CrossbarKind::Matrix, load};
+    const CrossbarModel m(kTech, p);
+
+    const Transistor t_cross =
+        defaultTransistor(kTech, Role::CrossbarCrosspoint);
+    const double wire_and_diff =
+        cw(kTech, m.outputLengthUm()) + 4.0 * cd(kTech, t_cross);
+    const Transistor t_od = sizeDriverForLoad(
+        kTech, Role::CrossbarOutputDriver, wire_and_diff + load);
+    EXPECT_DOUBLE_EQ(m.outputCap(), wire_and_diff + cg(kTech, t_od));
+}
+
+TEST(MatrixCrossbar, HeavierOutputLoadRaisesTraversalEnergy)
+{
+    const CrossbarModel light(kTech, {5, 5, 128, CrossbarKind::Matrix,
+                                      0.0});
+    const CrossbarModel heavy(kTech, {5, 5, 128, CrossbarKind::Matrix,
+                                      1.08e-12});
+    EXPECT_GT(heavy.avgTraversalEnergy(), light.avgTraversalEnergy());
+}
+
+TEST(MatrixCrossbar, ControlCapGatesOneColumn)
+{
+    // C_xb_ctr = W C_g(T_cross) + C_w(L_in / 2)
+    const CrossbarParams p{5, 5, 64, CrossbarKind::Matrix, 0.0};
+    const CrossbarModel m(kTech, p);
+    const Transistor t_cross =
+        defaultTransistor(kTech, Role::CrossbarCrosspoint);
+    EXPECT_DOUBLE_EQ(m.controlCap(),
+                     64.0 * cg(kTech, t_cross) +
+                         cw(kTech, m.inputLengthUm() / 2.0));
+    EXPECT_DOUBLE_EQ(m.controlEnergy(),
+                     kTech.switchEnergy(m.controlCap()));
+}
+
+TEST(Crossbar, TraversalEnergyLinearInToggledBits)
+{
+    const CrossbarModel m(kTech, {5, 5, 256, CrossbarKind::Matrix, 0.0});
+    EXPECT_DOUBLE_EQ(m.traversalEnergy(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.traversalEnergy(100),
+                     100.0 / 50.0 * m.traversalEnergy(50));
+    EXPECT_DOUBLE_EQ(m.avgTraversalEnergy(), m.traversalEnergy(128));
+}
+
+TEST(MuxTreeCrossbar, HasNoLongInputLines)
+{
+    const CrossbarModel m(kTech, {8, 8, 64, CrossbarKind::MuxTree, 0.0});
+    EXPECT_DOUBLE_EQ(m.inputLengthUm(), 0.0);
+    EXPECT_GT(m.outputLengthUm(), 0.0);
+}
+
+TEST(MuxTreeCrossbar, CheaperThanMatrixForSameConfig)
+{
+    // The mux tree trades long broadcast wires for log-depth gates —
+    // for wide fabrics its per-bit switched capacitance is lower.
+    const CrossbarModel matrix(kTech,
+                               {8, 8, 128, CrossbarKind::Matrix, 0.0});
+    const CrossbarModel tree(kTech,
+                             {8, 8, 128, CrossbarKind::MuxTree, 0.0});
+    EXPECT_LT(tree.avgTraversalEnergy(), matrix.avgTraversalEnergy());
+}
+
+/** Property sweep over port counts and widths. */
+class CrossbarSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CrossbarSweep, EnergyGrowsWithPortsAndWidth)
+{
+    const auto [ports, width] = GetParam();
+    for (const auto kind :
+         {CrossbarKind::Matrix, CrossbarKind::MuxTree}) {
+        const CrossbarModel base(kTech, {ports, ports, width, kind, 0.0});
+        const CrossbarModel more_ports(
+            kTech, {2 * ports, 2 * ports, width, kind, 0.0});
+        const CrossbarModel wider(kTech,
+                                  {ports, ports, 2 * width, kind, 0.0});
+        EXPECT_GT(more_ports.avgTraversalEnergy(),
+                  base.avgTraversalEnergy());
+        EXPECT_GT(wider.avgTraversalEnergy(), base.avgTraversalEnergy());
+        EXPECT_GT(base.avgTraversalEnergy(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CrossbarSweep,
+    ::testing::Values(std::tuple{2u, 32u}, std::tuple{4u, 64u},
+                      std::tuple{5u, 128u}, std::tuple{5u, 256u},
+                      std::tuple{8u, 256u}));
+
+} // namespace

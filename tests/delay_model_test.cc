@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the analytic pipeline delay model: the paper's pipeline
+ * depths (3-stage VC, 2-stage wormhole at a 20 FO4 clock) and
+ * monotonicity in the architectural parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/delay_model.hh"
+#include "tech/tech_node.hh"
+
+namespace {
+
+using orion::router::DelayModel;
+using orion::tech::TechNode;
+
+TEST(DelayModel, PaperPipelinesAtTwentyFo4)
+{
+    const DelayModel m(20.0);
+    // Section 4.2: "virtual-channel routers fit within a 3-stage
+    // router pipeline ... and the wormhole router has a 2-stage router
+    // pipeline" — for the paper's 5-port routers at 2-8 VCs.
+    EXPECT_EQ(m.pipelineDepth(true, 5, 2, 256), 3u);
+    EXPECT_EQ(m.pipelineDepth(true, 5, 8, 256), 3u);
+    EXPECT_EQ(m.pipelineDepth(false, 5, 1, 256), 2u);
+    // Fig 7's XB router (16 VCs) still fits the 3-stage pipeline.
+    EXPECT_EQ(m.pipelineDepth(true, 5, 16, 32), 3u);
+}
+
+TEST(DelayModel, EveryStageFitsOneAggressiveCycle)
+{
+    const DelayModel m(20.0);
+    EXPECT_LE(m.vcAllocDelayFo4(5, 16), 20.0);
+    EXPECT_LE(m.switchAllocDelayFo4(5), 20.0);
+    EXPECT_LE(m.crossbarDelayFo4(5, 256), 20.0);
+}
+
+TEST(DelayModel, ArbiterDelayGrowsWithFanIn)
+{
+    const DelayModel m(20.0);
+    EXPECT_LT(m.arbiterDelayFo4(2), m.arbiterDelayFo4(8));
+    EXPECT_LT(m.arbiterDelayFo4(8), m.arbiterDelayFo4(64));
+}
+
+TEST(DelayModel, CrossbarDelayGrowsWithPortsAndWidth)
+{
+    const DelayModel m(20.0);
+    EXPECT_LT(m.crossbarDelayFo4(2, 32), m.crossbarDelayFo4(10, 32));
+    EXPECT_LT(m.crossbarDelayFo4(5, 32), m.crossbarDelayFo4(5, 512));
+}
+
+TEST(DelayModel, SlowerClockNeedsFewerStages)
+{
+    const DelayModel fast(10.0);
+    const DelayModel slow(40.0);
+    EXPECT_GE(fast.pipelineDepth(true, 5, 8, 256),
+              slow.pipelineDepth(true, 5, 8, 256));
+    // A generous clock fits each module in one stage: VA+SA+ST = 3.
+    EXPECT_EQ(slow.pipelineDepth(true, 5, 8, 256), 3u);
+}
+
+TEST(DelayModel, StagesForNeverReturnsZero)
+{
+    const DelayModel m(20.0);
+    EXPECT_EQ(m.stagesFor(0.0), 1u);
+    EXPECT_EQ(m.stagesFor(20.0), 1u);
+    EXPECT_EQ(m.stagesFor(20.1), 2u);
+}
+
+TEST(DelayModel, Fo4TracksFeatureSize)
+{
+    EXPECT_NEAR(DelayModel::fo4Ps(TechNode::onChip100nm()), 42.5, 1e-9);
+    EXPECT_NEAR(DelayModel::fo4Ps(TechNode::scaled(0.18, 1.8, 1e9)),
+                76.5, 1e-9);
+}
+
+} // namespace

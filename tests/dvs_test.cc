@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the DVS link extension: voltage-squared energy scaling,
+ * the windowed utilization policy, and end-to-end savings behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/simulation.hh"
+#include "net/dvs_monitor.hh"
+#include "power/dvs_link_model.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::net;
+using namespace orion::power;
+
+const tech::TechNode kTech = tech::TechNode::onChip100nm();
+
+DvsLinkModel
+makeModel()
+{
+    return DvsLinkModel(kTech, 3000.0, 64,
+                        DvsLinkModel::defaultLevels(kTech.vdd));
+}
+
+TEST(DvsLinkModel, EnergyScalesWithVoltageSquared)
+{
+    const DvsLinkModel m = makeModel();
+    const double e0 = m.traversalEnergy(32, 0);
+    const double e2 = m.traversalEnergy(32, 2);
+    EXPECT_DOUBLE_EQ(e0, m.base().traversalEnergy(32));
+    EXPECT_NEAR(e2 / e0, (2.0 / 3.0) * (2.0 / 3.0), 1e-12);
+}
+
+TEST(DvsLinkModel, DefaultLadderIsDescending)
+{
+    const auto levels = DvsLinkModel::defaultLevels(1.2);
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_DOUBLE_EQ(levels[0].vdd, 1.2);
+    EXPECT_GT(levels[0].vdd, levels[1].vdd);
+    EXPECT_GT(levels[1].vdd, levels[2].vdd);
+}
+
+TEST(DvsMonitor, IdleLinkDropsToLowestLevel)
+{
+    sim::EventBus bus;
+    DvsPolicy policy;
+    policy.windowCycles = 100;
+    DvsLinkMonitor mon(bus, makeModel(), policy);
+
+    // First traversal in window 0: still at nominal level 0.
+    bus.emit({sim::EventType::LinkTraversal, 0, 0, 32, 0, 5});
+    EXPECT_EQ(mon.linkLevel(0, 0), 0u);
+
+    // Long silence, then a traversal far later: the near-zero
+    // utilization of the elapsed windows selects the lowest level.
+    bus.emit({sim::EventType::LinkTraversal, 0, 0, 32, 0, 1000});
+    EXPECT_EQ(mon.linkLevel(0, 0), 2u);
+}
+
+TEST(DvsMonitor, BusyLinkStaysAtNominal)
+{
+    sim::EventBus bus;
+    DvsPolicy policy;
+    policy.windowCycles = 10;
+    DvsLinkMonitor mon(bus, makeModel(), policy);
+
+    // 100% utilization across several windows.
+    for (sim::Cycle c = 0; c < 50; ++c)
+        bus.emit({sim::EventType::LinkTraversal, 0, 0, 32, 0, c});
+    EXPECT_EQ(mon.linkLevel(0, 0), 0u);
+    EXPECT_DOUBLE_EQ(mon.savings(), 0.0);
+}
+
+TEST(DvsMonitor, ModerateLoadPicksMiddleLevel)
+{
+    sim::EventBus bus;
+    DvsPolicy policy;
+    policy.windowCycles = 10;
+    policy.thresholds = {0.5, 0.25};
+    DvsLinkMonitor mon(bus, makeModel(), policy);
+
+    // 3 traversals per 10-cycle window = 0.3 utilization -> level 1.
+    for (sim::Cycle w = 0; w < 5; ++w)
+        for (sim::Cycle k = 0; k < 3; ++k)
+            bus.emit({sim::EventType::LinkTraversal, 0, 0, 32, 0,
+                      w * 10 + k});
+    EXPECT_EQ(mon.linkLevel(0, 0), 1u);
+}
+
+TEST(DvsMonitor, LinksAreIndependent)
+{
+    sim::EventBus bus;
+    DvsPolicy policy;
+    policy.windowCycles = 10;
+    DvsLinkMonitor mon(bus, makeModel(), policy);
+
+    for (sim::Cycle c = 0; c < 40; ++c)
+        bus.emit({sim::EventType::LinkTraversal, 1, 0, 32, 0, c});
+    bus.emit({sim::EventType::LinkTraversal, 1, 3, 32, 0, 500});
+
+    EXPECT_EQ(mon.linkLevel(1, 0), 0u); // busy
+    // Link (1,3) was idle for 50 windows before its first traversal:
+    // the elapsed empty windows already selected the lowest level.
+    EXPECT_EQ(mon.linkLevel(1, 3), 2u);
+    bus.emit({sim::EventType::LinkTraversal, 1, 3, 32, 0, 900});
+    EXPECT_EQ(mon.linkLevel(1, 3), 2u); // idle history persists
+}
+
+TEST(DvsMonitor, BaselineTracksNominalEnergy)
+{
+    sim::EventBus bus;
+    DvsLinkMonitor mon(bus, makeModel(), DvsPolicy{});
+    const DvsLinkModel ref = makeModel();
+
+    bus.emit({sim::EventType::LinkTraversal, 0, 0, 10, 0, 0});
+    bus.emit({sim::EventType::LinkTraversal, 0, 0, 20, 0, 1});
+    EXPECT_DOUBLE_EQ(mon.baselineEnergy(),
+                     ref.nominalTraversalEnergy(10) +
+                         ref.nominalTraversalEnergy(20));
+    EXPECT_LE(mon.dvsEnergy(), mon.baselineEnergy());
+}
+
+TEST(DvsMonitor, ResetClearsEnergyKeepsLevels)
+{
+    sim::EventBus bus;
+    DvsPolicy policy;
+    policy.windowCycles = 10;
+    DvsLinkMonitor mon(bus, makeModel(), policy);
+    bus.emit({sim::EventType::LinkTraversal, 0, 0, 32, 0, 500});
+    EXPECT_GT(mon.dvsEnergy(), 0.0);
+    mon.reset();
+    EXPECT_DOUBLE_EQ(mon.dvsEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(mon.baselineEnergy(), 0.0);
+}
+
+TEST(DvsEndToEnd, SavingsShrinkWithLoad)
+{
+    const auto savings_at = [](double rate) {
+        NetworkConfig cfg = NetworkConfig::vc64();
+        TrafficConfig traffic;
+        traffic.injectionRate = rate;
+        SimConfig sim;
+        sim.samplePackets = 1000;
+        sim.maxCycles = 200000;
+        Simulation s(cfg, traffic, sim);
+        DvsLinkMonitor dvs(
+            s.simulator().bus(),
+            DvsLinkModel(cfg.tech, cfg.linkLengthUm, cfg.net.flitBits,
+                         DvsLinkModel::defaultLevels(cfg.tech.vdd)),
+            DvsPolicy{});
+        s.run();
+        return dvs.savings();
+    };
+
+    const double light = savings_at(0.01);
+    const double heavy = savings_at(0.14);
+    EXPECT_GT(light, 0.35);  // most links mostly idle
+    EXPECT_LT(heavy, light); // savings shrink as links stay busy
+    EXPECT_GE(heavy, 0.0);
+}
+
+} // namespace

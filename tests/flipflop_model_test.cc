@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for the flip-flop subcomponent model (reused by arbiters and
+ * central-buffer pipeline registers, paper Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/flipflop_model.hh"
+#include "tech/tech_node.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+TEST(FlipFlopModel, CapsArePositive)
+{
+    const FlipFlopModel m(TechNode::onChip100nm());
+    EXPECT_GT(m.flipCap(), 0.0);
+    EXPECT_GT(m.clockCap(), 0.0);
+}
+
+TEST(FlipFlopModel, FlipEnergyIsHalfCV2)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const FlipFlopModel m(t);
+    EXPECT_DOUBLE_EQ(m.flipEnergy(), t.switchEnergy(m.flipCap()));
+}
+
+TEST(FlipFlopModel, ClockEnergyCountsBothEdges)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const FlipFlopModel m(t);
+    EXPECT_DOUBLE_EQ(m.clockEnergy(),
+                     2.0 * t.switchEnergy(m.clockCap()));
+}
+
+TEST(FlipFlopModel, EnergyScalesWithVddSquared)
+{
+    const FlipFlopModel lo(TechNode::scaled(0.1, 1.0, 1e9));
+    const FlipFlopModel hi(TechNode::scaled(0.1, 2.0, 1e9));
+    EXPECT_NEAR(hi.flipEnergy(), 4.0 * lo.flipEnergy(),
+                1e-12 * lo.flipEnergy());
+}
+
+TEST(FlipFlopModel, FlipIsFemtoJouleScale)
+{
+    // One bit of register should sit in the femtojoule decade at
+    // 0.1 um / 1.2 V — guards against unit errors.
+    const FlipFlopModel m(TechNode::onChip100nm());
+    EXPECT_GT(m.flipEnergy(), 1e-17);
+    EXPECT_LT(m.flipEnergy(), 1e-13);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Randomized configuration torture tests: pseudo-random (but
+ * deterministic) network configurations driven with random traffic,
+ * checking the invariants that must hold for *every* legal
+ * configuration — delivery, conservation, watchdog silence below
+ * saturation, and energy/event consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/simulation.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace orion;
+
+/** Build a random-but-valid configuration from @p seed. */
+NetworkConfig
+randomConfig(std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    NetworkConfig c = NetworkConfig::vc16();
+
+    // Topology: 2-D, radices 2-4 (kept small so low rates still load
+    // the network within the test budget).
+    const unsigned kx = 2 + static_cast<unsigned>(rng.below(3));
+    const unsigned ky = 2 + static_cast<unsigned>(rng.below(3));
+    c.net.dims = {kx, ky};
+    c.net.wrap = rng.chance(0.7);
+
+    c.net.packetLength = 1 + static_cast<unsigned>(rng.below(6));
+    c.net.flitBits = 16u << rng.below(3); // 16/32/64
+
+    const unsigned kind = static_cast<unsigned>(rng.below(3));
+    if (kind == 0) {
+        c.net.routerKind = net::RouterKind::Wormhole;
+        c.net.vcs = 1;
+        c.net.bufferDepth =
+            2 * c.net.packetLength +
+            static_cast<unsigned>(rng.below(16));
+        c.net.deadlock = c.net.wrap ? router::DeadlockMode::Bubble
+                                    : router::DeadlockMode::None;
+    } else if (kind == 1) {
+        c.net.routerKind = net::RouterKind::VirtualChannel;
+        c.net.vcs = 2u << rng.below(3); // 2/4/8
+        if (rng.chance(0.5)) {
+            c.net.deadlock = router::DeadlockMode::Dateline;
+            c.net.bufferDepth =
+                1 + static_cast<unsigned>(rng.below(12));
+        } else {
+            c.net.deadlock = router::DeadlockMode::Bubble;
+            c.net.bufferDepth =
+                c.net.packetLength +
+                static_cast<unsigned>(rng.below(8));
+        }
+        if (!c.net.wrap)
+            c.net.deadlock = router::DeadlockMode::None;
+        c.net.speculative = rng.chance(0.5);
+    } else {
+        c.net.routerKind = net::RouterKind::CentralBuffer;
+        c.net.vcs = 1;
+        c.net.bufferDepth =
+            2 * c.net.packetLength +
+            static_cast<unsigned>(rng.below(16));
+        c.net.deadlock = c.net.wrap ? router::DeadlockMode::Bubble
+                                    : router::DeadlockMode::None;
+        const unsigned cap =
+            4 * (c.net.packetLength + 2 +
+                 static_cast<unsigned>(rng.below(32)));
+        c.net.centralBuffer = router::CentralBufferRouterParams{
+            cap, 1 + static_cast<unsigned>(rng.below(2)),
+            1 + static_cast<unsigned>(rng.below(2)), 2};
+    }
+
+    const unsigned arb = static_cast<unsigned>(rng.below(3));
+    c.net.arbiterKind = arb == 0   ? router::ArbiterKind::Matrix
+                        : arb == 1 ? router::ArbiterKind::RoundRobin
+                                   : router::ArbiterKind::Queuing;
+    c.net.injection = rng.chance(0.5) ? net::InjectionPolicy::SingleVc
+                                      : net::InjectionPolicy::SpreadVcs;
+    c.net.tieBreak = rng.chance(0.5) ? net::TieBreak::Random
+                                     : net::TieBreak::PreferWrap;
+    return c;
+}
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfig)
+{
+    const std::uint64_t seed = GetParam();
+    const NetworkConfig cfg = randomConfig(seed);
+    ASSERT_NO_THROW(cfg.validate()) << "fuzz seed " << seed;
+
+    TrafficConfig traffic;
+    traffic.injectionRate = 0.02; // safely below any saturation
+    SimConfig sim;
+    sim.samplePackets = 400;
+    sim.maxCycles = 120000;
+    sim.seed = seed;
+
+    Simulation s(cfg, traffic, sim);
+    const Report r = s.run();
+
+    EXPECT_TRUE(r.completed) << "fuzz seed " << seed;
+    EXPECT_FALSE(r.deadlockSuspected) << "fuzz seed " << seed;
+    EXPECT_EQ(r.sampleEjected, 400u) << "fuzz seed " << seed;
+
+    // Conservation: nothing delivered that wasn't injected, nothing
+    // lost beyond what's still in flight.
+    auto& net = s.network();
+    EXPECT_LE(net.totalEjected(), net.totalInjected());
+
+    // Latency sane: at least the minimal pipeline time, far below the
+    // cycle cap.
+    EXPECT_GT(r.avgLatencyCycles, 3.0);
+    EXPECT_LT(r.avgLatencyCycles, 500.0);
+
+    // Power accounting consistent: positive, and the breakdown sums
+    // to the total.
+    EXPECT_GT(r.networkPowerWatts, 0.0);
+    EXPECT_NEAR(r.breakdownWatts.total(), r.networkPowerWatts,
+                1e-9 * r.networkPowerWatts);
+
+    // Buffered flits all came through buffers: reads never exceed
+    // writes.
+    const auto writes = r.eventCounts[static_cast<unsigned>(
+        sim::EventType::BufferWrite)];
+    const auto reads = r.eventCounts[static_cast<unsigned>(
+        sim::EventType::BufferRead)];
+    EXPECT_LE(reads, writes + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace

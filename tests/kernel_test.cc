@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the simulation kernel: event bus dispatch, registered
+ * channels (1-cycle latency), and the simulator loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/module.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace orion::sim;
+
+TEST(EventBus, DispatchesToSubscribersOfType)
+{
+    EventBus bus;
+    int buffer_events = 0;
+    int arb_events = 0;
+    bus.subscribe(EventType::BufferWrite,
+                  [&](const Event&) { ++buffer_events; });
+    bus.subscribe(EventType::Arbitration,
+                  [&](const Event&) { ++arb_events; });
+
+    bus.emit({EventType::BufferWrite, 0, 0, 0, 0, 0});
+    bus.emit({EventType::BufferWrite, 1, 0, 3, 4, 1});
+    bus.emit({EventType::Arbitration, 0, 0, 0, 0, 2});
+
+    EXPECT_EQ(buffer_events, 2);
+    EXPECT_EQ(arb_events, 1);
+}
+
+TEST(EventBus, PassesPayloadThrough)
+{
+    EventBus bus;
+    Event seen{};
+    bus.subscribe(EventType::LinkTraversal,
+                  [&](const Event& e) { seen = e; });
+    bus.emit({EventType::LinkTraversal, 7, 3, 128, 9, 42});
+    EXPECT_EQ(seen.node, 7);
+    EXPECT_EQ(seen.component, 3);
+    EXPECT_EQ(seen.deltaA, 128u);
+    EXPECT_EQ(seen.deltaB, 9u);
+    EXPECT_EQ(seen.cycle, 42u);
+}
+
+TEST(EventBus, CountsEvenWithoutSubscribers)
+{
+    EventBus bus;
+    bus.emit({EventType::CreditTransfer, 0, 0, 0, 0, 0});
+    bus.emit({EventType::CreditTransfer, 0, 0, 0, 0, 1});
+    EXPECT_EQ(bus.emittedCount(EventType::CreditTransfer), 2u);
+    EXPECT_EQ(bus.emittedCount(EventType::BufferRead), 0u);
+}
+
+TEST(EventBus, MultipleListenersAllFire)
+{
+    EventBus bus;
+    int a = 0;
+    int b = 0;
+    bus.subscribe(EventType::BufferRead, [&](const Event&) { ++a; });
+    bus.subscribe(EventType::BufferRead, [&](const Event&) { ++b; });
+    bus.emit({EventType::BufferRead, 0, 0, 0, 0, 0});
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(EventNames, AreUniqueAndNonNull)
+{
+    std::vector<std::string> names;
+    for (unsigned t = 0; t < kNumEventTypes; ++t)
+        names.push_back(eventTypeName(static_cast<EventType>(t)));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_FALSE(names[i].empty());
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+    }
+}
+
+TEST(Channel, DeliversNextCycle)
+{
+    Channel<int> ch;
+    ch.write(5);
+    EXPECT_FALSE(ch.valid());
+    ch.advance();
+    ASSERT_TRUE(ch.valid());
+    EXPECT_EQ(ch.peek(), 5);
+    EXPECT_EQ(ch.read(), 5);
+    EXPECT_FALSE(ch.valid());
+}
+
+TEST(Channel, EmptyAdvanceDeliversNothing)
+{
+    Channel<int> ch;
+    ch.advance();
+    EXPECT_FALSE(ch.valid());
+}
+
+TEST(Channel, BackToBackMessages)
+{
+    Channel<int> ch;
+    ch.write(1);
+    ch.advance();
+    ch.write(2); // staged while 1 is current
+    EXPECT_EQ(ch.read(), 1);
+    ch.advance();
+    EXPECT_EQ(ch.read(), 2);
+}
+
+/** A module that counts its cycles and pings a channel. */
+class Counter : public Module
+{
+  public:
+    Counter(Channel<int>* out)
+        : Module("counter", 0), out_(out)
+    {
+    }
+
+    void
+    cycle(Cycle now) override
+    {
+        ++cycles_;
+        if (out_)
+            out_->write(static_cast<int>(now));
+    }
+
+    int cycles() const { return cycles_; }
+
+  private:
+    Channel<int>* out_;
+    int cycles_ = 0;
+};
+
+/** A module that records what it receives. */
+class Sink : public Module
+{
+  public:
+    Sink(Channel<int>* in)
+        : Module("sink", 1), in_(in)
+    {
+    }
+
+    void
+    cycle(Cycle) override
+    {
+        if (in_->valid())
+            received_.push_back(in_->read());
+    }
+
+    const std::vector<int>& received() const { return received_; }
+
+  private:
+    Channel<int>* in_;
+    std::vector<int> received_;
+};
+
+TEST(Simulator, RunsModulesEveryCycle)
+{
+    Simulator sim;
+    Counter c(nullptr);
+    sim.add(&c);
+    sim.run(10);
+    EXPECT_EQ(c.cycles(), 10);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(sim.moduleCount(), 1u);
+}
+
+TEST(Simulator, ChannelAddsExactlyOneCycleLatency)
+{
+    Simulator sim;
+    RegisteredChannel<int> ch;
+    Counter producer(&ch);
+    Sink consumer(&ch);
+    sim.add(&producer);
+    sim.add(&consumer);
+    sim.addChannel(&ch);
+
+    sim.run(5);
+    // Written at cycles 0..4; received at cycles 1..4 => values 0..3.
+    ASSERT_EQ(consumer.received().size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(consumer.received()[i], i);
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate)
+{
+    Simulator sim;
+    Counter c(nullptr);
+    sim.add(&c);
+    const bool hit =
+        sim.runUntil([&] { return c.cycles() >= 3; }, 100);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(c.cycles(), 3);
+}
+
+TEST(Simulator, RunUntilRespectsCap)
+{
+    Simulator sim;
+    Counter c(nullptr);
+    sim.add(&c);
+    const bool hit = sim.runUntil([] { return false; }, 7);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(sim.now(), 7u);
+}
+
+} // namespace

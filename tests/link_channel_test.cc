@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Edge-case tests for links and registered channels: traversal-event
+ * gating, per-link activity history, credit links, and channel
+ * overrun detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/link.hh"
+#include "sim/module.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::router;
+using sim::Event;
+using sim::EventBus;
+using sim::EventType;
+
+Flit
+makeFlit(unsigned width, std::uint64_t payload)
+{
+    Flit f;
+    f.packet = std::make_shared<PacketInfo>();
+    f.payload = power::BitVec(width, payload);
+    return f;
+}
+
+TEST(FlitLink, EmitsTraversalWithActivityDelta)
+{
+    EventBus bus;
+    std::vector<Event> events;
+    bus.subscribe(EventType::LinkTraversal,
+                  [&](const Event& e) { events.push_back(e); });
+
+    FlitLink link(3, 2, 32, /*emits_traversal=*/true);
+    link.send(makeFlit(32, 0xff), bus, 5);
+    link.advance();
+    link.read();
+    link.send(makeFlit(32, 0xff), bus, 6); // same value: 0 toggles
+    link.advance();
+    link.read();
+    link.send(makeFlit(32, 0x0f), bus, 7); // 4 toggles
+
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].node, 3);
+    EXPECT_EQ(events[0].component, 2);
+    EXPECT_EQ(events[0].deltaA, 8u);
+    EXPECT_EQ(events[1].deltaA, 0u);
+    EXPECT_EQ(events[2].deltaA, 4u);
+}
+
+TEST(FlitLink, LocalWiringEmitsNothing)
+{
+    EventBus bus;
+    int traversals = 0;
+    bus.subscribe(EventType::LinkTraversal,
+                  [&](const Event&) { ++traversals; });
+
+    FlitLink link(0, 4, 32, /*emits_traversal=*/false);
+    link.send(makeFlit(32, 0xff), bus, 0);
+    EXPECT_EQ(traversals, 0);
+    EXPECT_FALSE(link.emitsTraversal());
+    link.advance();
+    EXPECT_TRUE(link.valid()); // the flit still travels
+}
+
+TEST(CreditLink, EmitsCreditTransfer)
+{
+    EventBus bus;
+    std::vector<Event> events;
+    bus.subscribe(EventType::CreditTransfer,
+                  [&](const Event& e) { events.push_back(e); });
+
+    CreditLink link(7, 1);
+    link.send(Credit{3}, bus, 9);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].node, 7);
+    EXPECT_EQ(events[0].cycle, 9u);
+    link.advance();
+    EXPECT_EQ(link.read().vc, 3);
+}
+
+TEST(ChannelDeath, OverrunAsserts)
+{
+    sim::Channel<int> ch;
+    ch.write(1);
+    ch.advance(); // 1 is current, unread
+    ch.write(2);  // staged
+    EXPECT_DEATH(ch.advance(), "channel overrun");
+}
+
+TEST(ChannelDeath, DoubleWriteAsserts)
+{
+    sim::Channel<int> ch;
+    ch.write(1);
+    EXPECT_DEATH(ch.write(2), "written twice");
+}
+
+TEST(Channel, UnreadMessageLatches)
+{
+    sim::Channel<int> ch;
+    ch.write(5);
+    ch.advance();
+    ch.advance(); // nothing staged: the unread 5 persists
+    ch.advance();
+    ASSERT_TRUE(ch.valid());
+    EXPECT_EQ(ch.read(), 5);
+}
+
+TEST(Flit, RouteHopAccessors)
+{
+    auto info = std::make_shared<PacketInfo>();
+    info->route = {RouteHop{2, 0, true}, RouteHop{0, 1, false},
+                   RouteHop{4, 0, false}};
+    Flit f;
+    f.packet = info;
+    f.hop = 0;
+    EXPECT_EQ(f.routeHop().port, 2);
+    EXPECT_TRUE(f.routeHop().newRing);
+    EXPECT_FALSE(f.atLastHop());
+    f.hop = 2;
+    EXPECT_EQ(f.routeHop().port, 4);
+    EXPECT_TRUE(f.atLastHop());
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the link power models: on-chip capacitive links vs.
+ * constant-power chip-to-chip links (paper Sections 4.2 and 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/link_model.hh"
+#include "tech/capacitance.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+TEST(OnChipLink, WireCapAnchorsToPaperNumber)
+{
+    // 1.08 pF per 3 mm, plus the sized driver's diffusion.
+    const TechNode t = TechNode::onChip100nm();
+    const OnChipLinkModel link(t, 3000.0, 256);
+    EXPECT_GT(link.wireCap(), 1.08e-12);
+    EXPECT_LT(link.wireCap(), 1.6e-12);
+}
+
+TEST(OnChipLink, TraversalLinearInToggles)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const OnChipLinkModel link(t, 3000.0, 256);
+    EXPECT_DOUBLE_EQ(link.traversalEnergy(0), 0.0);
+    EXPECT_DOUBLE_EQ(link.traversalEnergy(200),
+                     2.0 * link.traversalEnergy(100));
+    EXPECT_DOUBLE_EQ(link.avgTraversalEnergy(),
+                     link.traversalEnergy(128));
+}
+
+TEST(OnChipLink, EnergyGrowsWithLength)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const OnChipLinkModel short_link(t, 1000.0, 64);
+    const OnChipLinkModel long_link(t, 9000.0, 64);
+    EXPECT_GT(long_link.avgTraversalEnergy(),
+              short_link.avgTraversalEnergy());
+}
+
+TEST(OnChipLink, PicojouleScalePerBit)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const OnChipLinkModel link(t, 3000.0, 256);
+    const double per_bit = link.traversalEnergy(1);
+    EXPECT_GT(per_bit, 0.1e-12);
+    EXPECT_LT(per_bit, 10e-12);
+}
+
+TEST(ChipToChipLink, DefaultsToPaperThreeWatts)
+{
+    const ChipToChipLinkModel link;
+    EXPECT_DOUBLE_EQ(link.powerWatts(), 3.0);
+}
+
+TEST(ChipToChipLink, EnergyIsTrafficInsensitive)
+{
+    // "These chip-to-chip links use differential signaling, and thus
+    // consume almost the same power regardless of link activity."
+    const ChipToChipLinkModel link(3.0);
+    const double period = 1e-9; // 1 GHz
+    EXPECT_DOUBLE_EQ(link.energyOver(period, 1000.0), 3.0e-6);
+    // Scale check: double the cycles, double the energy.
+    EXPECT_DOUBLE_EQ(link.energyOver(period, 2000.0),
+                     2.0 * link.energyOver(period, 1000.0));
+}
+
+TEST(ChipToChipLink, PowerTimesTimeIdentity)
+{
+    const ChipToChipLinkModel link(1.5);
+    const double period = 0.5e-9;
+    const double cycles = 123456.0;
+    EXPECT_DOUBLE_EQ(link.energyOver(period, cycles) / (period * cycles),
+                     1.5);
+}
+
+} // namespace

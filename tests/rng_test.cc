@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, uniformity, and
+ * bounded sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using orion::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(11);
+    const unsigned bound = 16;
+    std::vector<int> counts(bound, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(bound)];
+    const double expect = static_cast<double>(n) / bound;
+    for (const int c : counts) {
+        EXPECT_GT(c, expect * 0.9);
+        EXPECT_LT(c, expect * 1.1);
+    }
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(5);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.1))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndOneAreDegenerate)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for source dimension-ordered routing: minimality, dimension
+ * order (y-first), ring-entry flags, and dateline VC-class assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/routing.hh"
+#include "net/topology.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::net;
+using orion::router::DeadlockMode;
+using orion::router::RouteHop;
+
+/** Walk a route hop-by-hop and return the node sequence. */
+std::vector<int>
+walk(const Topology& topo, int src,
+     const std::vector<RouteHop>& route)
+{
+    std::vector<int> nodes{src};
+    int cur = src;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+        cur = topo.neighbor(cur, route[i].port);
+        EXPECT_GE(cur, 0);
+        nodes.push_back(cur);
+    }
+    return nodes;
+}
+
+class RoutingTest : public ::testing::Test
+{
+  protected:
+    Topology topo_{{4, 4}, true};
+    DorRouting dor_{topo_, DorRouting::defaultOrder(topo_),
+                    DeadlockMode::Dateline};
+    sim::Rng rng_{11};
+};
+
+TEST_F(RoutingTest, RouteEndsWithEjection)
+{
+    const auto route = dor_.route(0, 5, rng_);
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.back().port, topo_.localPort());
+}
+
+TEST_F(RoutingTest, RouteReachesDestinationMinimally)
+{
+    for (int src = 0; src < 16; ++src) {
+        for (int dst = 0; dst < 16; ++dst) {
+            if (src == dst)
+                continue;
+            const auto route = dor_.route(src, dst, rng_);
+            // Hops = minimal network hops + 1 ejection entry.
+            EXPECT_EQ(route.size(),
+                      topo_.minimalHops(src, dst) + 1);
+            const auto nodes = walk(topo_, src, route);
+            EXPECT_EQ(nodes.back(), dst);
+        }
+    }
+}
+
+TEST_F(RoutingTest, YDimensionRoutedFirst)
+{
+    // Paper Section 4.3: "In our dimension-ordered routing, we route
+    // along the y-axis first."
+    const int src = topo_.nodeAt({0, 0});
+    const int dst = topo_.nodeAt({1, 1});
+    const auto route = dor_.route(src, dst, rng_);
+    ASSERT_EQ(route.size(), 3u);
+    EXPECT_EQ(topo_.portDimension(route[0].port), 1u); // y first
+    EXPECT_EQ(topo_.portDimension(route[1].port), 0u); // then x
+}
+
+TEST_F(RoutingTest, DimensionsAreNeverInterleaved)
+{
+    sim::Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int src = static_cast<int>(rng.below(16));
+        int dst = static_cast<int>(rng.below(16));
+        if (dst == src)
+            dst = (dst + 1) % 16;
+        const auto route = dor_.route(src, dst, rng);
+        // Network hops must form contiguous runs per dimension.
+        int last_dim = -1;
+        std::vector<bool> seen(2, false);
+        for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+            const int d =
+                static_cast<int>(topo_.portDimension(route[i].port));
+            if (d != last_dim) {
+                EXPECT_FALSE(seen[static_cast<unsigned>(d)])
+                    << "dimension revisited";
+                seen[static_cast<unsigned>(d)] = true;
+                last_dim = d;
+            }
+        }
+    }
+}
+
+TEST_F(RoutingTest, NewRingFlagsMarkRingEntries)
+{
+    const int src = topo_.nodeAt({0, 0});
+    const int dst = topo_.nodeAt({2, 2});
+    const auto route = dor_.route(src, dst, rng_);
+    ASSERT_EQ(route.size(), 5u);
+    EXPECT_TRUE(route[0].newRing);  // entering the y ring
+    EXPECT_FALSE(route[1].newRing); // continuing in y
+    EXPECT_TRUE(route[2].newRing);  // turning into the x ring
+    EXPECT_FALSE(route[3].newRing);
+    EXPECT_FALSE(route[4].newRing); // ejection
+}
+
+TEST_F(RoutingTest, DatelineClassSetOnlyWhenCrossingWraparound)
+{
+    // (0,0) -> (0,1): one +y hop, no wraparound: class 0.
+    const auto direct = dor_.route(topo_.nodeAt({0, 0}),
+                                   topo_.nodeAt({0, 1}), rng_);
+    EXPECT_EQ(direct[0].vcClass, 0);
+
+    // (0,3) -> (0,0): one +y hop through the wraparound: class 1.
+    const auto wrap = dor_.route(topo_.nodeAt({0, 3}),
+                                 topo_.nodeAt({0, 0}), rng_);
+    ASSERT_EQ(wrap.size(), 2u);
+    EXPECT_EQ(wrap[0].vcClass, 1);
+}
+
+TEST_F(RoutingTest, DatelineClassConstantPerRingTraversal)
+{
+    sim::Rng rng(31);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int src = static_cast<int>(rng.below(16));
+        int dst = static_cast<int>(rng.below(16));
+        if (dst == src)
+            dst = (dst + 1) % 16;
+        const auto route = dor_.route(src, dst, rng);
+        // Within one dimension run, the class must not change.
+        for (std::size_t i = 0; i + 2 < route.size(); ++i) {
+            if (topo_.portDimension(route[i].port) ==
+                    topo_.portDimension(route[i + 1].port) &&
+                route[i].port == route[i + 1].port) {
+                EXPECT_EQ(route[i].vcClass, route[i + 1].vcClass);
+            }
+        }
+    }
+}
+
+TEST_F(RoutingTest, NoDatelineModeLeavesClassZero)
+{
+    const DorRouting plain(topo_, DorRouting::defaultOrder(topo_),
+                           DeadlockMode::Bubble);
+    sim::Rng rng(3);
+    for (int dst = 1; dst < 16; ++dst) {
+        const auto route = plain.route(0, dst, rng);
+        for (const auto& hop : route)
+            EXPECT_EQ(hop.vcClass, 0);
+    }
+}
+
+TEST_F(RoutingTest, HalfWayTiesUseBothDirections)
+{
+    // Offset-2 destinations on a 4-ring must statistically split
+    // between the two directions (preserves Figure 6 symmetry).
+    sim::Rng rng(77);
+    const int src = topo_.nodeAt({0, 0});
+    const int dst = topo_.nodeAt({2, 0});
+    int plus = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+        const auto route = dor_.route(src, dst, rng);
+        if (topo_.portIsPlus(route[0].port))
+            ++plus;
+    }
+    EXPECT_GT(plus, trials / 2 - 60);
+    EXPECT_LT(plus, trials / 2 + 60);
+}
+
+TEST(RoutingMesh, NoWraparoundEver)
+{
+    const Topology mesh({4, 4}, false);
+    const DorRouting dor(mesh, DorRouting::defaultOrder(mesh),
+                         DeadlockMode::None);
+    sim::Rng rng(1);
+    for (int src = 0; src < 16; ++src) {
+        for (int dst = 0; dst < 16; ++dst) {
+            if (src == dst)
+                continue;
+            const auto route = dor.route(src, dst, rng);
+            int cur = src;
+            for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+                cur = mesh.neighbor(cur, route[i].port);
+                ASSERT_GE(cur, 0) << "route fell off a mesh edge";
+            }
+            EXPECT_EQ(cur, dst);
+        }
+    }
+}
+
+TEST(RoutingOrder, CustomDimensionOrderRespected)
+{
+    const Topology topo({4, 4}, true);
+    const DorRouting xfirst(topo, {0, 1}, DeadlockMode::None);
+    sim::Rng rng(2);
+    const auto route =
+        xfirst.route(topo.nodeAt({0, 0}), topo.nodeAt({1, 1}), rng);
+    ASSERT_EQ(route.size(), 3u);
+    EXPECT_EQ(topo.portDimension(route[0].port), 0u); // x first
+    EXPECT_EQ(topo.portDimension(route[1].port), 1u);
+}
+
+} // namespace

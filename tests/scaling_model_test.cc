@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-technology property tests: every power model must respond
+ * correctly to feature-size and voltage scaling (geometry shrinks
+ * with feature size, energy scales with Vdd^2, orderings between
+ * components are preserved across nodes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/arbiter_model.hh"
+#include "power/buffer_model.hh"
+#include "power/central_buffer_model.hh"
+#include "power/crossbar_model.hh"
+#include "power/link_model.hh"
+#include "tech/tech_node.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::power;
+using namespace orion::tech;
+
+/** Feature sizes to sweep (um). */
+class TechSweep : public ::testing::TestWithParam<double>
+{
+  protected:
+    TechNode
+    node() const
+    {
+        return TechNode::scaled(GetParam(), 1.2, 1e9);
+    }
+};
+
+TEST_P(TechSweep, BufferAreaScalesQuadratically)
+{
+    const TechNode t = node();
+    const TechNode half = TechNode::scaled(GetParam() / 2.0, 1.2, 1e9);
+    const BufferModel m1(t, {16, 64, 1, 1});
+    const BufferModel m2(half, {16, 64, 1, 1});
+    EXPECT_NEAR(m2.areaUm2() / m1.areaUm2(), 0.25, 1e-9);
+}
+
+TEST_P(TechSweep, SmallerFeatureLowersWireBoundEnergy)
+{
+    const TechNode t = node();
+    const TechNode half = TechNode::scaled(GetParam() / 2.0, 1.2, 1e9);
+    // Wordline/bitline wires shrink with the cell geometry, so read
+    // energy must fall.
+    const BufferModel m1(t, {64, 128, 1, 1});
+    const BufferModel m2(half, {64, 128, 1, 1});
+    EXPECT_LT(m2.readEnergy(), m1.readEnergy());
+
+    const CrossbarModel x1(t, {5, 5, 128, CrossbarKind::Matrix, 0.0});
+    const CrossbarModel x2(half,
+                           {5, 5, 128, CrossbarKind::Matrix, 0.0});
+    EXPECT_LT(x2.avgTraversalEnergy(), x1.avgTraversalEnergy());
+}
+
+TEST_P(TechSweep, ComponentOrderingsHoldAcrossNodes)
+{
+    // The relationships the paper's conclusions rest on must not be
+    // artifacts of one technology point: arbiters are negligible
+    // next to buffers; central buffers dwarf small FIFOs.
+    const TechNode t = node();
+    const BufferModel buf(t, {64, 256, 1, 1});
+    const ArbiterModel arb(t, {4, ArbiterKind::Matrix, 0.0});
+    EXPECT_LT(arb.avgArbitrationEnergy(), 0.05 * buf.readEnergy());
+
+    const CentralBufferModel cbuf(t, {4, 2560, 32, 2, 2, 5, 2});
+    const BufferModel fifo(t, {64, 32, 1, 1});
+    EXPECT_GT(cbuf.avgReadEnergy(), 2.0 * fifo.readEnergy());
+}
+
+TEST_P(TechSweep, LinkEnergyProportionalToLength)
+{
+    const TechNode t = node();
+    const OnChipLinkModel short_link(t, 1500.0, 64);
+    const OnChipLinkModel long_link(t, 3000.0, 64);
+    // Wire cap doubles; driver diffusion also doubles (sized for the
+    // doubled load), so the ratio is exactly 2.
+    EXPECT_NEAR(long_link.avgTraversalEnergy() /
+                    short_link.avgTraversalEnergy(),
+                2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, TechSweep,
+                         ::testing::Values(0.35, 0.25, 0.18, 0.13, 0.1,
+                                           0.07));
+
+/** Vdd sweep: every model's energy must scale as V^2. */
+class VddSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VddSweep, AllModelsScaleWithVddSquared)
+{
+    const double vdd = GetParam();
+    const TechNode lo = TechNode::scaled(0.1, vdd, 1e9);
+    const TechNode hi = TechNode::scaled(0.1, 2.0 * vdd, 1e9);
+    const double k = 4.0;
+
+    const BufferModel b_lo(lo, {16, 64, 1, 1});
+    const BufferModel b_hi(hi, {16, 64, 1, 1});
+    EXPECT_NEAR(b_hi.readEnergy() / b_lo.readEnergy(), k, 1e-9);
+    EXPECT_NEAR(b_hi.avgWriteEnergy() / b_lo.avgWriteEnergy(), k, 1e-9);
+
+    const CrossbarModel x_lo(lo, {5, 5, 64, CrossbarKind::Matrix, 0.0});
+    const CrossbarModel x_hi(hi, {5, 5, 64, CrossbarKind::Matrix, 0.0});
+    EXPECT_NEAR(x_hi.avgTraversalEnergy() / x_lo.avgTraversalEnergy(),
+                k, 1e-9);
+
+    const ArbiterModel a_lo(lo, {4, ArbiterKind::Matrix, 0.0});
+    const ArbiterModel a_hi(hi, {4, ArbiterKind::Matrix, 0.0});
+    EXPECT_NEAR(a_hi.avgArbitrationEnergy() /
+                    a_lo.avgArbitrationEnergy(),
+                k, 1e-9);
+
+    const OnChipLinkModel l_lo(lo, 3000.0, 64);
+    const OnChipLinkModel l_hi(hi, 3000.0, 64);
+    EXPECT_NEAR(l_hi.avgTraversalEnergy() / l_lo.avgTraversalEnergy(),
+                k, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, VddSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.25));
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the statistics primitives (accumulator and histogram).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using orion::sim::Accumulator;
+using orion::sim::Histogram;
+
+TEST(Accumulator, EmptyIsZero)
+{
+    const Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, TracksMeanMinMax)
+{
+    Accumulator a;
+    a.add(2.0);
+    a.add(4.0);
+    a.add(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, HandlesNegatives)
+{
+    Accumulator a;
+    a.add(-3.0);
+    a.add(1.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -1.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Histogram, BinsValues)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(49.9);
+    h.add(1000.0);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileApproximates)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 4);
+    h.add(2.0);
+    h.add(100.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_EQ(h.binCount(2), 0u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero)
+{
+    const Histogram h(1.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+} // namespace

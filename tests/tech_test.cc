@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the technology substrate: node presets, scaling,
+ * capacitance primitives, and driver sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/capacitance.hh"
+#include "tech/tech_node.hh"
+#include "tech/transistor.hh"
+
+namespace {
+
+using namespace orion::tech;
+
+TEST(TechNode, OnChipPresetMatchesPaperSection42)
+{
+    const TechNode t = TechNode::onChip100nm();
+    EXPECT_DOUBLE_EQ(t.featureUm, 0.1);
+    EXPECT_DOUBLE_EQ(t.vdd, 1.2);
+    EXPECT_DOUBLE_EQ(t.freqHz, 2.0e9);
+}
+
+TEST(TechNode, ChipToChipPresetMatchesPaperSection44)
+{
+    const TechNode t = TechNode::chipToChip100nm();
+    EXPECT_DOUBLE_EQ(t.featureUm, 0.1);
+    EXPECT_DOUBLE_EQ(t.freqHz, 1.0e9);
+}
+
+TEST(TechNode, WireCapReproducesPaperLinkCapacitance)
+{
+    // Section 4.2: "Link capacitance is 1.08pF/3mm".
+    const TechNode t = TechNode::onChip100nm();
+    EXPECT_NEAR(cw(t, 3000.0), 1.08e-12, 1e-15);
+}
+
+TEST(TechNode, SwitchEnergyIsHalfCVSquared)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const double c = 1e-12;
+    EXPECT_DOUBLE_EQ(t.switchEnergy(c), 0.5 * c * 1.2 * 1.2);
+}
+
+TEST(TechNode, CyclePeriodIsReciprocalFrequency)
+{
+    const TechNode t = TechNode::onChip100nm();
+    EXPECT_DOUBLE_EQ(t.cyclePeriod(), 0.5e-9);
+}
+
+TEST(TechNode, ScalingShrinksGeometryLinearly)
+{
+    const TechNode base = TechNode::onChip100nm();
+    const TechNode half = TechNode::scaled(0.05, 1.0, 3.0e9);
+    EXPECT_DOUBLE_EQ(half.featureUm, 0.05);
+    EXPECT_DOUBLE_EQ(half.vdd, 1.0);
+    EXPECT_DOUBLE_EQ(half.freqHz, 3.0e9);
+    EXPECT_DOUBLE_EQ(half.cellWidthUm, base.cellWidthUm / 2.0);
+    EXPECT_DOUBLE_EQ(half.cellHeightUm, base.cellHeightUm / 2.0);
+    EXPECT_DOUBLE_EQ(half.wirePitchUm, base.wirePitchUm / 2.0);
+    // Per-um densities are preserved to first order.
+    EXPECT_DOUBLE_EQ(half.cgPerUm, base.cgPerUm);
+    EXPECT_DOUBLE_EQ(half.cwPerUm, base.cwPerUm);
+}
+
+TEST(TechNode, ScaledToReferenceIsIdentity)
+{
+    const TechNode base = TechNode::onChip100nm();
+    const TechNode same = TechNode::scaled(0.1, base.vdd, base.freqHz);
+    EXPECT_DOUBLE_EQ(same.cellWidthUm, base.cellWidthUm);
+    EXPECT_DOUBLE_EQ(same.wirePitchUm, base.wirePitchUm);
+}
+
+TEST(Capacitance, GateDiffusionScaleWithWidth)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const Transistor narrow{1.0, Role::Minimum};
+    const Transistor wide{2.0, Role::Minimum};
+    EXPECT_DOUBLE_EQ(cg(t, wide), 2.0 * cg(t, narrow));
+    EXPECT_DOUBLE_EQ(cd(t, wide), 2.0 * cd(t, narrow));
+    EXPECT_DOUBLE_EQ(ca(t, narrow), cg(t, narrow) + cd(t, narrow));
+}
+
+TEST(Capacitance, WireCapScalesWithLength)
+{
+    const TechNode t = TechNode::onChip100nm();
+    EXPECT_DOUBLE_EQ(cw(t, 200.0), 2.0 * cw(t, 100.0));
+    EXPECT_DOUBLE_EQ(cw(t, 0.0), 0.0);
+}
+
+TEST(Transistor, DefaultWidthsArePositiveAndRoleDependent)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const Transistor pass = defaultTransistor(t, Role::MemoryPass);
+    const Transistor chg = defaultTransistor(t, Role::Precharge);
+    EXPECT_GT(pass.widthUm, 0.0);
+    EXPECT_GT(chg.widthUm, pass.widthUm);
+}
+
+TEST(Transistor, DriverSizingTracksLoad)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const Transistor small =
+        sizeDriverForLoad(t, Role::WordlineDriver, 10e-15);
+    const Transistor big =
+        sizeDriverForLoad(t, Role::WordlineDriver, 1000e-15);
+    EXPECT_GT(big.widthUm, small.widthUm);
+    // The driver's input cap is load / stageEffort.
+    EXPECT_NEAR(cg(t, big), 1000e-15 / t.stageEffort, 1e-18);
+}
+
+TEST(Transistor, DriverSizingClampsAtMinimumWidth)
+{
+    const TechNode t = TechNode::onChip100nm();
+    const Transistor tiny =
+        sizeDriverForLoad(t, Role::WordlineDriver, 0.0);
+    EXPECT_DOUBLE_EQ(tiny.widthUm, 2.0 * t.featureUm);
+}
+
+/** Property sweep: energy-per-switch is monotone in capacitance and
+ * quadratic in Vdd. */
+class SwitchEnergyProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SwitchEnergyProperty, QuadraticInVdd)
+{
+    const double vdd = GetParam();
+    const TechNode t = TechNode::scaled(0.1, vdd, 1e9);
+    const double e1 = t.switchEnergy(1e-12);
+    const TechNode t2 = TechNode::scaled(0.1, 2.0 * vdd, 1e9);
+    EXPECT_NEAR(t2.switchEnergy(1e-12), 4.0 * e1, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vdds, SwitchEnergyProperty,
+                         ::testing::Values(0.6, 0.9, 1.2, 1.8, 2.5));
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for k-ary n-cube topologies: coordinates, neighbors, wraparound
+ * vs. mesh edges, and distance metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+namespace {
+
+using orion::net::Coord;
+using orion::net::Topology;
+
+TEST(Topology, FourByFourTorusBasics)
+{
+    const Topology t({4, 4}, true);
+    EXPECT_EQ(t.numNodes(), 16u);
+    EXPECT_EQ(t.dimensions(), 2u);
+    EXPECT_EQ(t.portsPerRouter(), 5u); // paper: 5 physical ports
+    EXPECT_EQ(t.localPort(), 4u);
+}
+
+TEST(Topology, CoordinateRoundTrip)
+{
+    const Topology t({4, 4}, true);
+    for (int n = 0; n < 16; ++n)
+        EXPECT_EQ(t.nodeAt(t.coordsOf(n)), n);
+    // The paper labels nodes with (x, y) tuples; x is dimension 0.
+    EXPECT_EQ(t.nodeAt({1, 2}), 1 + 2 * 4);
+}
+
+TEST(Topology, PortNumberingConvention)
+{
+    const Topology t({4, 4}, true);
+    EXPECT_EQ(t.port(0, true), 0u);
+    EXPECT_EQ(t.port(0, false), 1u);
+    EXPECT_EQ(t.port(1, true), 2u);
+    EXPECT_EQ(t.port(1, false), 3u);
+    EXPECT_EQ(t.portDimension(2), 1u);
+    EXPECT_TRUE(t.portIsPlus(2));
+    EXPECT_FALSE(t.portIsPlus(3));
+}
+
+TEST(Topology, TorusNeighborsWrap)
+{
+    const Topology t({4, 4}, true);
+    const int n30 = t.nodeAt({3, 0});
+    EXPECT_EQ(t.neighbor(n30, t.port(0, true)), t.nodeAt({0, 0}));
+    EXPECT_EQ(t.neighbor(n30, t.port(0, false)), t.nodeAt({2, 0}));
+    EXPECT_EQ(t.neighbor(n30, t.port(1, false)), t.nodeAt({3, 3}));
+}
+
+TEST(Topology, MeshEdgesHaveNoNeighbor)
+{
+    const Topology t({4, 4}, false);
+    const int corner = t.nodeAt({0, 0});
+    EXPECT_EQ(t.neighbor(corner, t.port(0, false)), -1);
+    EXPECT_EQ(t.neighbor(corner, t.port(1, false)), -1);
+    EXPECT_GE(t.neighbor(corner, t.port(0, true)), 0);
+}
+
+TEST(Topology, NeighborIsInvolution)
+{
+    // Going +d then -d returns to the start, everywhere on the torus.
+    const Topology t({4, 4}, true);
+    for (int n = 0; n < 16; ++n) {
+        for (unsigned d = 0; d < 2; ++d) {
+            const int fwd = t.neighbor(n, t.port(d, true));
+            EXPECT_EQ(t.neighbor(fwd, t.port(d, false)), n);
+        }
+    }
+}
+
+TEST(Topology, MinimalHopsOnTorus)
+{
+    const Topology t({4, 4}, true);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({0, 0})), 0u);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({1, 0})), 1u);
+    // Wraparound shortens 3 to 1.
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({3, 0})), 1u);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({2, 2})), 4u);
+}
+
+TEST(Topology, MinimalHopsOnMesh)
+{
+    const Topology t({4, 4}, false);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({3, 0})), 3u);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({3, 3}), t.nodeAt({0, 0})), 6u);
+}
+
+TEST(Topology, DistanceIsSymmetric)
+{
+    const Topology t({4, 4}, true);
+    for (int a = 0; a < 16; ++a)
+        for (int b = 0; b < 16; ++b)
+            EXPECT_EQ(t.minimalHops(a, b), t.minimalHops(b, a));
+}
+
+TEST(Topology, ThreeDimensionalTorus)
+{
+    const Topology t({2, 3, 4}, true);
+    EXPECT_EQ(t.numNodes(), 24u);
+    EXPECT_EQ(t.portsPerRouter(), 7u);
+    for (int n = 0; n < 24; ++n)
+        EXPECT_EQ(t.nodeAt(t.coordsOf(n)), n);
+}
+
+TEST(Topology, AsymmetricRadix)
+{
+    const Topology t({8, 2}, true);
+    EXPECT_EQ(t.numNodes(), 16u);
+    EXPECT_EQ(t.radix(0), 8u);
+    EXPECT_EQ(t.radix(1), 2u);
+    EXPECT_EQ(t.minimalHops(t.nodeAt({0, 0}), t.nodeAt({4, 1})), 5u);
+}
+
+} // namespace

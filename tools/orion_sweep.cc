@@ -1,0 +1,143 @@
+/**
+ * @file
+ * orion_sweep — injection-rate sweep driver.
+ *
+ * Runs the same configuration across a range of injection rates and
+ * emits one CSV row per point (the series behind latency/power vs.
+ * load figures), plus the measured zero-load latency and the paper's
+ * 2x-zero-load saturation point. Accepts all orion_sim options, plus:
+ *
+ *   --rates FIRST:LAST:COUNT   evenly spaced rates (default
+ *                              0.01:0.20:10)
+ *   --seeds N                  average each point over N seeds and
+ *                              report the latency spread
+ *
+ * Example:
+ *   orion_sweep --preset vc64 --rates 0.02:0.18:9 --seeds 3 > vc64.csv
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/report.hh"
+#include "core/sweep.hh"
+
+using namespace orion;
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::vector<double> rates = Sweep::linspace(0.01, 0.20, 10);
+    unsigned seeds = 1;
+
+    // Extract the sweep-only options, pass the rest to the shared
+    // parser.
+    std::vector<std::string> rest;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--rates" || args[i] == "--seeds") {
+            const std::string opt = args[i];
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "orion_sweep: %s: missing value\n",
+                             opt.c_str());
+                return 1;
+            }
+            try {
+                if (opt == "--rates")
+                    rates = cli::parseRateSpec(args[++i]);
+                else
+                    seeds = static_cast<unsigned>(
+                        std::stoul(args[++i]));
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "orion_sweep: bad %s: %s\n",
+                             opt.c_str(), e.what());
+                return 1;
+            }
+        } else {
+            rest.push_back(args[i]);
+        }
+    }
+    if (seeds < 1) {
+        std::fprintf(stderr, "orion_sweep: --seeds must be >= 1\n");
+        return 1;
+    }
+
+    try {
+        const cli::Options opts = cli::parse(rest);
+        if (opts.helpRequested) {
+            std::fputs(cli::usage().c_str(), stdout);
+            std::fputs("\nsweep:\n  --rates FIRST:LAST:COUNT   "
+                       "evenly spaced rates (default 0.01:0.20:10)\n",
+                       stdout);
+            return 0;
+        }
+
+        const double zero_load = Sweep::zeroLoadLatency(
+            opts.network, opts.traffic, opts.sim);
+
+        if (seeds > 1) {
+            const auto points = Sweep::overRatesAveraged(
+                opts.network, opts.traffic, opts.sim, rates, seeds);
+            report::Table t;
+            t.headers = {"rate",        "completed",   "latency_mean",
+                         "latency_min", "latency_max", "throughput",
+                         "power_w"};
+            for (const auto& p : points) {
+                t.addRow({
+                    report::fmt(p.injectionRate, 4),
+                    p.allCompleted ? "1" : "0",
+                    report::fmt(p.meanLatency, 3),
+                    report::fmt(p.minLatency, 3),
+                    report::fmt(p.maxLatency, 3),
+                    report::fmt(p.meanThroughput, 4),
+                    report::fmt(p.meanPowerWatts, 4),
+                });
+            }
+            std::fputs(report::formatCsv(t).c_str(), stdout);
+            std::fprintf(stderr,
+                         "# zero-load latency: %.2f cycles; %u seeds "
+                         "per point\n",
+                         zero_load, seeds);
+            return 0;
+        }
+
+        const auto points = Sweep::overRates(opts.network, opts.traffic,
+                                             opts.sim, rates);
+
+        report::Table t;
+        t.headers = {"rate",    "completed", "latency", "p95",
+                     "throughput", "power_w", "buffer_w", "crossbar_w",
+                     "arbiter_w",  "link_w"};
+        for (const auto& p : points) {
+            const Report& r = p.report;
+            t.addRow({
+                report::fmt(p.injectionRate, 4),
+                r.completed ? "1" : "0",
+                report::fmt(r.avgLatencyCycles, 3),
+                report::fmt(r.p95LatencyCycles, 0),
+                report::fmt(r.acceptedFlitsPerNodePerCycle, 4),
+                report::fmt(r.networkPowerWatts, 4),
+                report::fmt(r.breakdownWatts.buffer, 4),
+                report::fmt(r.breakdownWatts.crossbar, 4),
+                report::fmt(r.breakdownWatts.arbiter, 5),
+                report::fmt(r.breakdownWatts.link, 4),
+            });
+        }
+        std::fputs(report::formatCsv(t).c_str(), stdout);
+
+        const double sat = Sweep::saturationRate(points, zero_load);
+        std::fprintf(stderr,
+                     "# zero-load latency: %.2f cycles; saturation "
+                     "(2x zero-load): %s\n",
+                     zero_load,
+                     sat < 0 ? "beyond swept range"
+                             : report::fmt(sat, 3).c_str());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
