@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crossbar_arbiter.dir/ablation_crossbar_arbiter.cc.o"
+  "CMakeFiles/ablation_crossbar_arbiter.dir/ablation_crossbar_arbiter.cc.o.d"
+  "ablation_crossbar_arbiter"
+  "ablation_crossbar_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crossbar_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

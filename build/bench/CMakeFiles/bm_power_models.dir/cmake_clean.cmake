@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_power_models.dir/bm_power_models.cc.o"
+  "CMakeFiles/bm_power_models.dir/bm_power_models.cc.o.d"
+  "bm_power_models"
+  "bm_power_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_power_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

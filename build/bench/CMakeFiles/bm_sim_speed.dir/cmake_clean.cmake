@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sim_speed.dir/bm_sim_speed.cc.o"
+  "CMakeFiles/bm_sim_speed.dir/bm_sim_speed.cc.o.d"
+  "bm_sim_speed"
+  "bm_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

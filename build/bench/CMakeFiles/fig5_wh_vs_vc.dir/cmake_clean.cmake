@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_wh_vs_vc.dir/fig5_wh_vs_vc.cc.o"
+  "CMakeFiles/fig5_wh_vs_vc.dir/fig5_wh_vs_vc.cc.o.d"
+  "fig5_wh_vs_vc"
+  "fig5_wh_vs_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wh_vs_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cb_vs_xb.dir/fig7_cb_vs_xb.cc.o"
+  "CMakeFiles/fig7_cb_vs_xb.dir/fig7_cb_vs_xb.cc.o.d"
+  "fig7_cb_vs_xb"
+  "fig7_cb_vs_xb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cb_vs_xb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_cb_vs_xb.
+# This may be replaced when dependencies are built.

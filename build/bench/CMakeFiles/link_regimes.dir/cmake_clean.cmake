@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_regimes.dir/link_regimes.cc.o"
+  "CMakeFiles/link_regimes.dir/link_regimes.cc.o.d"
+  "link_regimes"
+  "link_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

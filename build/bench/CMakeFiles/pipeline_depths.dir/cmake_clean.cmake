@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_depths.dir/pipeline_depths.cc.o"
+  "CMakeFiles/pipeline_depths.dir/pipeline_depths.cc.o.d"
+  "pipeline_depths"
+  "pipeline_depths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_depths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_footprint.dir/simulator_footprint.cc.o"
+  "CMakeFiles/simulator_footprint.dir/simulator_footprint.cc.o.d"
+  "simulator_footprint"
+  "simulator_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_buffer_model.dir/table2_buffer_model.cc.o"
+  "CMakeFiles/table2_buffer_model.dir/table2_buffer_model.cc.o.d"
+  "table2_buffer_model"
+  "table2_buffer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_buffer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

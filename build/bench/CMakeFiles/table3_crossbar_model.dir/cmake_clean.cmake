@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_crossbar_model.dir/table3_crossbar_model.cc.o"
+  "CMakeFiles/table3_crossbar_model.dir/table3_crossbar_model.cc.o.d"
+  "table3_crossbar_model"
+  "table3_crossbar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_crossbar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_arbiter_model.dir/table4_arbiter_model.cc.o"
+  "CMakeFiles/table4_arbiter_model.dir/table4_arbiter_model.cc.o.d"
+  "table4_arbiter_model"
+  "table4_arbiter_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_arbiter_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

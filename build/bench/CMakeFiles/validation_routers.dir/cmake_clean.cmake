@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_routers.dir/validation_routers.cc.o"
+  "CMakeFiles/validation_routers.dir/validation_routers.cc.o.d"
+  "validation_routers"
+  "validation_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkthrough_flit_energy.dir/walkthrough_flit_energy.cc.o"
+  "CMakeFiles/walkthrough_flit_energy.dir/walkthrough_flit_energy.cc.o.d"
+  "walkthrough_flit_energy"
+  "walkthrough_flit_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkthrough_flit_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

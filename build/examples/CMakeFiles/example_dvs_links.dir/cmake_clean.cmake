@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dvs_links.dir/dvs_links.cc.o"
+  "CMakeFiles/example_dvs_links.dir/dvs_links.cc.o.d"
+  "example_dvs_links"
+  "example_dvs_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dvs_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_standalone_power.dir/standalone_power.cc.o"
+  "CMakeFiles/example_standalone_power.dir/standalone_power.cc.o.d"
+  "example_standalone_power"
+  "example_standalone_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_standalone_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_patterns.dir/traffic_patterns.cc.o"
+  "CMakeFiles/example_traffic_patterns.dir/traffic_patterns.cc.o.d"
+  "example_traffic_patterns"
+  "example_traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

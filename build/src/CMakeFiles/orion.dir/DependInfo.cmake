@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cc" "src/CMakeFiles/orion.dir/core/cli.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/cli.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/orion.dir/core/config.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/config.cc.o.d"
+  "/root/repo/src/core/model_cli.cc" "src/CMakeFiles/orion.dir/core/model_cli.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/model_cli.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/orion.dir/core/report.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/report.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/CMakeFiles/orion.dir/core/simulation.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/simulation.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/orion.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/orion.dir/core/sweep.cc.o.d"
+  "/root/repo/src/net/dvs_monitor.cc" "src/CMakeFiles/orion.dir/net/dvs_monitor.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/dvs_monitor.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/orion.dir/net/network.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/orion.dir/net/node.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/node.cc.o.d"
+  "/root/repo/src/net/power_monitor.cc" "src/CMakeFiles/orion.dir/net/power_monitor.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/power_monitor.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/CMakeFiles/orion.dir/net/routing.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/routing.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/orion.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/topology.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/orion.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/trace.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/CMakeFiles/orion.dir/net/traffic.cc.o" "gcc" "src/CMakeFiles/orion.dir/net/traffic.cc.o.d"
+  "/root/repo/src/power/activity.cc" "src/CMakeFiles/orion.dir/power/activity.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/activity.cc.o.d"
+  "/root/repo/src/power/arbiter_model.cc" "src/CMakeFiles/orion.dir/power/arbiter_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/arbiter_model.cc.o.d"
+  "/root/repo/src/power/buffer_model.cc" "src/CMakeFiles/orion.dir/power/buffer_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/buffer_model.cc.o.d"
+  "/root/repo/src/power/central_buffer_model.cc" "src/CMakeFiles/orion.dir/power/central_buffer_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/central_buffer_model.cc.o.d"
+  "/root/repo/src/power/crossbar_model.cc" "src/CMakeFiles/orion.dir/power/crossbar_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/crossbar_model.cc.o.d"
+  "/root/repo/src/power/dvs_link_model.cc" "src/CMakeFiles/orion.dir/power/dvs_link_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/dvs_link_model.cc.o.d"
+  "/root/repo/src/power/flipflop_model.cc" "src/CMakeFiles/orion.dir/power/flipflop_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/flipflop_model.cc.o.d"
+  "/root/repo/src/power/link_model.cc" "src/CMakeFiles/orion.dir/power/link_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/power/link_model.cc.o.d"
+  "/root/repo/src/router/arbiter.cc" "src/CMakeFiles/orion.dir/router/arbiter.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/arbiter.cc.o.d"
+  "/root/repo/src/router/central_buffer_router.cc" "src/CMakeFiles/orion.dir/router/central_buffer_router.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/central_buffer_router.cc.o.d"
+  "/root/repo/src/router/credit.cc" "src/CMakeFiles/orion.dir/router/credit.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/credit.cc.o.d"
+  "/root/repo/src/router/crossbar_switch.cc" "src/CMakeFiles/orion.dir/router/crossbar_switch.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/crossbar_switch.cc.o.d"
+  "/root/repo/src/router/delay_model.cc" "src/CMakeFiles/orion.dir/router/delay_model.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/delay_model.cc.o.d"
+  "/root/repo/src/router/fifo.cc" "src/CMakeFiles/orion.dir/router/fifo.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/fifo.cc.o.d"
+  "/root/repo/src/router/flit.cc" "src/CMakeFiles/orion.dir/router/flit.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/flit.cc.o.d"
+  "/root/repo/src/router/link.cc" "src/CMakeFiles/orion.dir/router/link.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/link.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/orion.dir/router/router.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/router.cc.o.d"
+  "/root/repo/src/router/vc_router.cc" "src/CMakeFiles/orion.dir/router/vc_router.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/vc_router.cc.o.d"
+  "/root/repo/src/router/vc_state.cc" "src/CMakeFiles/orion.dir/router/vc_state.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/vc_state.cc.o.d"
+  "/root/repo/src/router/wormhole_router.cc" "src/CMakeFiles/orion.dir/router/wormhole_router.cc.o" "gcc" "src/CMakeFiles/orion.dir/router/wormhole_router.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/orion.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/orion.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/module.cc" "src/CMakeFiles/orion.dir/sim/module.cc.o" "gcc" "src/CMakeFiles/orion.dir/sim/module.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/orion.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/orion.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/orion.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/orion.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/orion.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/orion.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tech/capacitance.cc" "src/CMakeFiles/orion.dir/tech/capacitance.cc.o" "gcc" "src/CMakeFiles/orion.dir/tech/capacitance.cc.o.d"
+  "/root/repo/src/tech/tech_node.cc" "src/CMakeFiles/orion.dir/tech/tech_node.cc.o" "gcc" "src/CMakeFiles/orion.dir/tech/tech_node.cc.o.d"
+  "/root/repo/src/tech/transistor.cc" "src/CMakeFiles/orion.dir/tech/transistor.cc.o" "gcc" "src/CMakeFiles/orion.dir/tech/transistor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,4 @@
+src/CMakeFiles/orion.dir/power/flipflop_model.cc.o: \
+ /root/repo/src/power/flipflop_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/flipflop_model.hh /root/repo/src/tech/tech_node.hh \
+ /root/repo/src/tech/capacitance.hh /root/repo/src/tech/transistor.hh

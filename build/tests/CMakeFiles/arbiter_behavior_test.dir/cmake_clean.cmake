@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_behavior_test.dir/arbiter_behavior_test.cc.o"
+  "CMakeFiles/arbiter_behavior_test.dir/arbiter_behavior_test.cc.o.d"
+  "arbiter_behavior_test"
+  "arbiter_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

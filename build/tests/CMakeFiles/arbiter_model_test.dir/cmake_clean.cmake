@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_model_test.dir/arbiter_model_test.cc.o"
+  "CMakeFiles/arbiter_model_test.dir/arbiter_model_test.cc.o.d"
+  "arbiter_model_test"
+  "arbiter_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_buffer_router_test.dir/central_buffer_router_test.cc.o"
+  "CMakeFiles/central_buffer_router_test.dir/central_buffer_router_test.cc.o.d"
+  "central_buffer_router_test"
+  "central_buffer_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_buffer_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

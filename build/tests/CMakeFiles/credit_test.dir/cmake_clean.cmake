@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_test.dir/credit_test.cc.o"
+  "CMakeFiles/credit_test.dir/credit_test.cc.o.d"
+  "credit_test"
+  "credit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_model_test.dir/crossbar_model_test.cc.o"
+  "CMakeFiles/crossbar_model_test.dir/crossbar_model_test.cc.o.d"
+  "crossbar_model_test"
+  "crossbar_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_switch_test.dir/crossbar_switch_test.cc.o"
+  "CMakeFiles/crossbar_switch_test.dir/crossbar_switch_test.cc.o.d"
+  "crossbar_switch_test"
+  "crossbar_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_test.dir/dvs_test.cc.o"
+  "CMakeFiles/dvs_test.dir/dvs_test.cc.o.d"
+  "dvs_test"
+  "dvs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

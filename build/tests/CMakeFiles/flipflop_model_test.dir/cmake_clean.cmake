@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flipflop_model_test.dir/flipflop_model_test.cc.o"
+  "CMakeFiles/flipflop_model_test.dir/flipflop_model_test.cc.o.d"
+  "flipflop_model_test"
+  "flipflop_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flipflop_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_integration_test.dir/network_integration_test.cc.o"
+  "CMakeFiles/network_integration_test.dir/network_integration_test.cc.o.d"
+  "network_integration_test"
+  "network_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_wiring_test.dir/network_wiring_test.cc.o"
+  "CMakeFiles/network_wiring_test.dir/network_wiring_test.cc.o.d"
+  "network_wiring_test"
+  "network_wiring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_wiring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_accounting_test.dir/power_accounting_test.cc.o"
+  "CMakeFiles/power_accounting_test.dir/power_accounting_test.cc.o.d"
+  "power_accounting_test"
+  "power_accounting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

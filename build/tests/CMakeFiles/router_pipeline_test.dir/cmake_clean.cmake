@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_pipeline_test.dir/router_pipeline_test.cc.o"
+  "CMakeFiles/router_pipeline_test.dir/router_pipeline_test.cc.o.d"
+  "router_pipeline_test"
+  "router_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_walkthrough_test.dir/router_walkthrough_test.cc.o"
+  "CMakeFiles/router_walkthrough_test.dir/router_walkthrough_test.cc.o.d"
+  "router_walkthrough_test"
+  "router_walkthrough_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

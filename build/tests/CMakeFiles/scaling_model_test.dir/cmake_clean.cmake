@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_model_test.dir/scaling_model_test.cc.o"
+  "CMakeFiles/scaling_model_test.dir/scaling_model_test.cc.o.d"
+  "scaling_model_test"
+  "scaling_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_test.dir/speculative_test.cc.o"
+  "CMakeFiles/speculative_test.dir/speculative_test.cc.o.d"
+  "speculative_test"
+  "speculative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

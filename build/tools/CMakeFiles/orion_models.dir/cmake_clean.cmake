@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_models.dir/orion_models.cc.o"
+  "CMakeFiles/orion_models.dir/orion_models.cc.o.d"
+  "orion_models"
+  "orion_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_sweep.dir/orion_sweep.cc.o"
+  "CMakeFiles/orion_sweep.dir/orion_sweep.cc.o.d"
+  "orion_sweep"
+  "orion_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
