@@ -8,6 +8,8 @@
  *    the paper's value; set lower for quick smoke runs)
  *  - ORION_MAX_CYCLES: post-warm-up cycle cap per point
  *  - ORION_SEED: RNG seed
+ *  - ORION_JOBS: sweep worker threads (default: hardware concurrency;
+ *    results are identical for any value — see SweepOptions::jobs)
  */
 
 #ifndef ORION_BENCH_BENCH_UTIL_HH
@@ -40,6 +42,16 @@ defaultSimConfig()
     s.maxCycles = envU64("ORION_MAX_CYCLES", 400000);
     s.seed = envU64("ORION_SEED", 1);
     return s;
+}
+
+/** Sweep execution knobs: ORION_JOBS worker threads, defaulting to
+ * hardware concurrency (jobs = 0). */
+inline SweepOptions
+defaultSweepOptions()
+{
+    SweepOptions opts;
+    opts.jobs = static_cast<unsigned>(envU64("ORION_JOBS", 0));
+    return opts;
 }
 
 /** "0.150" style rate label. */

@@ -12,6 +12,7 @@
 
 #include "core/config.hh"
 #include "core/simulation.hh"
+#include "core/sweep.hh"
 
 namespace {
 
@@ -66,6 +67,33 @@ BM_XbNetwork(benchmark::State& state)
     runCycles(state, NetworkConfig::xb(), 0.08);
 }
 
+/**
+ * Sweep throughput: an 8-point VC16 injection-rate sweep, the unit of
+ * work behind every figure harness. Arg = SweepOptions::jobs (1 =
+ * serial baseline, 0 = hardware concurrency); results are
+ * bit-identical across args, only wall clock changes.
+ */
+void
+BM_SweepOverRates(benchmark::State& state)
+{
+    TrafficConfig traffic;
+    SimConfig sim;
+    sim.samplePackets = 500;
+    sim.maxCycles = 60000;
+    const auto rates = Sweep::linspace(0.01, 0.08, 8);
+    SweepOptions opts;
+    opts.jobs = static_cast<unsigned>(state.range(0));
+
+    for (auto _ : state) {
+        auto points = Sweep::overRates(NetworkConfig::vc16(), traffic,
+                                       sim, rates, opts);
+        benchmark::DoNotOptimize(points);
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        static_cast<double>(rates.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_Vc16Network)->Arg(256);
@@ -73,5 +101,10 @@ BENCHMARK(BM_Vc64Network)->Arg(256);
 BENCHMARK(BM_Wormhole64Network)->Arg(256);
 BENCHMARK(BM_CentralBufferNetwork)->Arg(256);
 BENCHMARK(BM_XbNetwork)->Arg(256);
+BENCHMARK(BM_SweepOverRates)
+    ->Arg(1)  // serial baseline
+    ->Arg(0)  // hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

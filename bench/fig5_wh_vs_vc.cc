@@ -54,11 +54,14 @@ main()
                 "marks saturated runs)\n\n",
                 static_cast<unsigned long long>(sim.samplePackets));
 
-    // Run all configs over all rates.
+    // Run all configs over all rates, fanning each config's points
+    // across ORION_JOBS workers (results are jobs-independent).
+    const SweepOptions sweep_opts = defaultSweepOptions();
     std::vector<std::vector<SweepPoint>> results;
     std::vector<double> zero_load;
     for (const auto& c : configs) {
-        results.push_back(Sweep::overRates(c.net, traffic, sim, rates));
+        results.push_back(
+            Sweep::overRates(c.net, traffic, sim, rates, sweep_opts));
         zero_load.push_back(Sweep::zeroLoadLatency(c.net, traffic, sim));
     }
 

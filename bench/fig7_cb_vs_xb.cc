@@ -109,10 +109,13 @@ main()
                                        0.17, 0.20};
 
     // Uniform random (7a, 7b).
+    const SweepOptions sweep_opts = defaultSweepOptions();
     TrafficConfig uniform;
     uniform.pattern = net::TrafficPattern::UniformRandom;
-    const auto cb_u = Sweep::overRates(cb, uniform, sim, rates);
-    const auto xb_u = Sweep::overRates(xb, uniform, sim, rates);
+    const auto cb_u =
+        Sweep::overRates(cb, uniform, sim, rates, sweep_opts);
+    const auto xb_u =
+        Sweep::overRates(xb, uniform, sim, rates, sweep_opts);
     latencyAndPower("(a,b) uniform random traffic", rates, cb_u, xb_u);
 
     // Broadcast from (1,2) (7d, 7e). Rates are the source node's;
@@ -125,8 +128,10 @@ main()
     bcast_sim.maxCycles = std::max<sim::Cycle>(
         sim.maxCycles,
         static_cast<sim::Cycle>(3.0 * sim.samplePackets / rates.front()));
-    const auto cb_b = Sweep::overRates(cb, bcast, bcast_sim, rates);
-    const auto xb_b = Sweep::overRates(xb, bcast, bcast_sim, rates);
+    const auto cb_b =
+        Sweep::overRates(cb, bcast, bcast_sim, rates, sweep_opts);
+    const auto xb_b =
+        Sweep::overRates(xb, bcast, bcast_sim, rates, sweep_opts);
     latencyAndPower("(d,e) broadcast traffic from (1,2)", rates, cb_b,
                     xb_b);
 
@@ -143,8 +148,10 @@ main()
     hot.hotspotFraction = 0.4;
     const std::vector<double> hot_rates = {0.02, 0.04, 0.06, 0.08,
                                            0.10};
-    const auto cb_h = Sweep::overRates(cb, hot, sim, hot_rates);
-    const auto xb_h = Sweep::overRates(xb, hot, sim, hot_rates);
+    const auto cb_h =
+        Sweep::overRates(cb, hot, sim, hot_rates, sweep_opts);
+    const auto xb_h =
+        Sweep::overRates(xb, hot, sim, hot_rates, sweep_opts);
     {
         report::Table t;
         t.title = "Fig 7(d') supplement — hotspot traffic (40% to "

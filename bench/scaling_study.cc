@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "core/executor.hh"
 
 int
 main()
@@ -40,33 +41,43 @@ main()
     std::printf("Scaling study — VC routers (2 VCs x 8 flits, 256-bit "
                 "flits, 2 GHz), uniform random at 0.05\n\n");
 
+    // Shapes are independent runs; fan them across ORION_JOBS workers
+    // and emit the rows in shape order afterwards.
+    std::vector<std::vector<std::string>> rows(shapes.size());
+    core::parallelFor(
+        defaultSweepOptions().jobs, shapes.size(), [&](std::size_t i) {
+            const auto& shape = shapes[i];
+            NetworkConfig cfg = NetworkConfig::vc16();
+            cfg.net.dims = shape.dims;
+            cfg.net.wrap = shape.wrap;
+            if (!shape.wrap)
+                cfg.net.deadlock =
+                    router::DeadlockMode::None; // DOR mesh
+            TrafficConfig traffic;
+            traffic.injectionRate = 0.05;
+
+            Simulation s(cfg, traffic, sim);
+            const Report r = s.run();
+            const auto n = s.network().topology().numNodes();
+            rows[i] = {
+                shape.name,
+                std::to_string(n),
+                r.completed ? report::fmt(r.avgLatencyCycles, 1)
+                            : ">cap",
+                report::fmt(r.networkPowerWatts, 2),
+                report::fmt(r.networkPowerWatts / n, 3),
+                report::fmt(r.breakdownWatts.buffer, 2),
+                report::fmt(r.breakdownWatts.crossbar, 2),
+                report::fmt(r.breakdownWatts.link, 2),
+            };
+        });
+
     report::Table t;
     t.headers = {"network",    "nodes",   "avg latency",
                  "power (W)",  "W/node",  "buffer W", "xbar W",
                  "link W"};
-    for (const auto& shape : shapes) {
-        NetworkConfig cfg = NetworkConfig::vc16();
-        cfg.net.dims = shape.dims;
-        cfg.net.wrap = shape.wrap;
-        if (!shape.wrap)
-            cfg.net.deadlock = router::DeadlockMode::None; // DOR mesh
-        TrafficConfig traffic;
-        traffic.injectionRate = 0.05;
-
-        Simulation s(cfg, traffic, sim);
-        const Report r = s.run();
-        const auto n = s.network().topology().numNodes();
-        t.addRow({
-            shape.name,
-            std::to_string(n),
-            r.completed ? report::fmt(r.avgLatencyCycles, 1) : ">cap",
-            report::fmt(r.networkPowerWatts, 2),
-            report::fmt(r.networkPowerWatts / n, 3),
-            report::fmt(r.breakdownWatts.buffer, 2),
-            report::fmt(r.breakdownWatts.crossbar, 2),
-            report::fmt(r.breakdownWatts.link, 2),
-        });
-    }
+    for (auto& row : rows)
+        t.addRow(std::move(row));
     std::printf("%s", report::formatTable(t).c_str());
     std::printf("\nLarger networks raise per-node power (longer "
                 "average paths => more flit-hops per delivered\n"

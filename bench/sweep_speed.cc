@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Parallel-sweep throughput benchmark: runs the same ≥8-point
+ * injection-rate sweep serially (--jobs 1 path) and fanned across
+ * hardware concurrency, verifies the results are bit-identical, and
+ * emits machine-readable BENCH_sweep.json (wall time, points/sec,
+ * speedup) alongside the human-readable table.
+ *
+ * Environment knobs (on top of bench_util's usual set):
+ *  - ORION_SAMPLE: packets per point (default 2000 here — enough for
+ *    a stable timing signal without a multi-minute serial baseline)
+ *  - ORION_BENCH_JSON: output path (default "BENCH_sweep.json")
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/executor.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::bench;
+
+using Clock = std::chrono::steady_clock;
+
+struct Timing
+{
+    double wallSeconds = 0.0;
+    double pointsPerSecond = 0.0;
+};
+
+Timing
+timeSweep(const NetworkConfig& net, const TrafficConfig& traffic,
+          const SimConfig& sim, const std::vector<double>& rates,
+          unsigned seeds, unsigned jobs,
+          std::vector<AveragedPoint>& out)
+{
+    const auto start = Clock::now();
+    out = Sweep::overRatesAveraged(net, traffic, sim, rates, seeds,
+                                   SweepOptions{jobs});
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    Timing t;
+    t.wallSeconds = elapsed.count();
+    t.pointsPerSecond =
+        static_cast<double>(rates.size() * seeds) / t.wallSeconds;
+    return t;
+}
+
+bool
+identical(const std::vector<AveragedPoint>& a,
+          const std::vector<AveragedPoint>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].injectionRate != b[i].injectionRate ||
+            a[i].seeds != b[i].seeds ||
+            a[i].allCompleted != b[i].allCompleted ||
+            a[i].meanLatency != b[i].meanLatency ||
+            a[i].minLatency != b[i].minLatency ||
+            a[i].maxLatency != b[i].maxLatency ||
+            a[i].meanPowerWatts != b[i].meanPowerWatts ||
+            a[i].meanThroughput != b[i].meanThroughput) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig sim = defaultSimConfig();
+    sim.samplePackets = envU64("ORION_SAMPLE", 2000);
+    TrafficConfig traffic;
+    traffic.pattern = net::TrafficPattern::UniformRandom;
+
+    const NetworkConfig net = NetworkConfig::vc16();
+    const std::vector<double> rates = Sweep::linspace(0.01, 0.10, 10);
+    const unsigned seeds = 2;
+    const unsigned hw = core::resolveJobs(0);
+    const unsigned jobs =
+        static_cast<unsigned>(envU64("ORION_JOBS", hw));
+
+    std::printf("Parallel sweep speed — VC16, %zu rates x %u seeds, "
+                "%llu sample packets/point, %u hardware threads\n\n",
+                rates.size(), seeds,
+                static_cast<unsigned long long>(sim.samplePackets),
+                hw);
+
+    std::vector<AveragedPoint> serial_pts;
+    std::vector<AveragedPoint> parallel_pts;
+    const Timing serial =
+        timeSweep(net, traffic, sim, rates, seeds, 1, serial_pts);
+    const Timing parallel =
+        timeSweep(net, traffic, sim, rates, seeds, jobs, parallel_pts);
+    const bool same = identical(serial_pts, parallel_pts);
+    const double speedup = serial.wallSeconds / parallel.wallSeconds;
+
+    report::Table t;
+    t.headers = {"mode", "jobs", "wall (s)", "points/s", "speedup"};
+    t.addRow({"serial", "1", report::fmt(serial.wallSeconds, 2),
+              report::fmt(serial.pointsPerSecond, 2), "1.00"});
+    t.addRow({"parallel", std::to_string(jobs),
+              report::fmt(parallel.wallSeconds, 2),
+              report::fmt(parallel.pointsPerSecond, 2),
+              report::fmt(speedup, 2)});
+    std::printf("%s\n", report::formatTable(t).c_str());
+    std::printf("results bit-identical: %s\n", same ? "yes" : "NO");
+
+    const char* json_path = std::getenv("ORION_BENCH_JSON");
+    const std::string path =
+        json_path != nullptr ? json_path : "BENCH_sweep.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"parallel_sweep\",\n"
+        "  \"network\": \"vc16\",\n"
+        "  \"rates\": %zu,\n"
+        "  \"seeds_per_rate\": %u,\n"
+        "  \"points\": %zu,\n"
+        "  \"sample_packets_per_point\": %llu,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"jobs\": %u,\n"
+        "  \"serial\": { \"wall_s\": %.4f, \"points_per_s\": %.3f },\n"
+        "  \"parallel\": { \"wall_s\": %.4f, \"points_per_s\": %.3f },\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        rates.size(), seeds, rates.size() * seeds,
+        static_cast<unsigned long long>(sim.samplePackets), hw, jobs,
+        serial.wallSeconds, serial.pointsPerSecond,
+        parallel.wallSeconds, parallel.pointsPerSecond, speedup,
+        same ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    return same ? 0 : 1;
+}

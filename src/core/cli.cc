@@ -220,6 +220,11 @@ parse(const std::vector<std::string>& args)
             o.sim.maxCycles = parseU64(a, value());
         } else if (a == "--seed") {
             o.sim.seed = parseU64(a, value());
+        } else if (a == "--jobs") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1)
+                fail("--jobs: must be >= 1");
+            o.jobs = static_cast<unsigned>(n);
         } else if (a == "--csv") {
             o.csv = true;
         } else if (a == "--breakdown") {
@@ -285,6 +290,12 @@ usage()
            "  --warmup N           warm-up cycles (default 1000)\n"
            "  --max-cycles N       cycle cap (default 1000000)\n"
            "  --seed N             RNG seed (default 1)\n"
+           "\n"
+           "execution:\n"
+           "  --jobs N             sweep worker threads (default: "
+           "hardware\n"
+           "                       concurrency; results identical for "
+           "any N)\n"
            "\n"
            "output:\n"
            "  --csv                machine-readable one-row CSV\n"

@@ -15,6 +15,7 @@
  *   --rate R --broadcast-source N --hotspot N --hotspot-frac F
  *   --trace FILE
  *   --sample N --warmup N --max-cycles N --seed N
+ *   --jobs N
  *   --csv
  */
 
@@ -37,6 +38,10 @@ struct Options
     SimConfig sim;
     /** Emit machine-readable CSV instead of the text report. */
     bool csv = false;
+    /** Worker threads for sweep drivers (--jobs): 0 = hardware
+     * concurrency (the default), 1 = serial. Results are identical
+     * for every value; see SweepOptions::jobs. */
+    unsigned jobs = 0;
     /** Append the per-node power map and event counts (text mode). */
     bool breakdown = false;
     /** --help was requested: print usage() and exit successfully. */

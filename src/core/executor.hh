@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reusable thread-pool executor behind the parallel sweep drivers.
+ *
+ * Sweep points are embarrassingly parallel — each (rate, seed) point
+ * owns its Network, Simulator, and RNG stream — so the executor only
+ * has to hand out independent indices and join. Determinism is the
+ * callers' contract: workers write results into preallocated,
+ * index-addressed slots, so the merged output is the same no matter
+ * which worker finishes first.
+ */
+
+#ifndef ORION_CORE_EXECUTOR_HH
+#define ORION_CORE_EXECUTOR_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace orion::core {
+
+/**
+ * A fixed-size pool of worker threads consuming a task queue.
+ * Reusable across submit()/wait() rounds; destruction joins the
+ * workers after draining the queue.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains outstanding tasks, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. If any task
+     * threw, rethrows the first captured exception (by submission
+     * processing order, not a deterministic pick among concurrent
+     * failures).
+     */
+    void wait();
+
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0; // queued + currently running tasks
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Resolve a user-facing --jobs value: 0 means "hardware concurrency",
+ * anything else passes through. Never returns 0.
+ */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Run body(0) ... body(count - 1), fanned across @p jobs threads.
+ * With jobs == 1 (or count < 2) the calls run inline on the calling
+ * thread in index order — byte-for-byte today's serial behavior.
+ * Index assignment across workers is dynamic (an atomic cursor), so
+ * bodies must not depend on which thread runs which index; exceptions
+ * from any body are rethrown on the calling thread after the join.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+} // namespace orion::core
+
+#endif // ORION_CORE_EXECUTOR_HH

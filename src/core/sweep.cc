@@ -1,21 +1,42 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "core/executor.hh"
+#include "sim/rng.hh"
 
 namespace orion {
 
+namespace {
+
+/** Run one (rate index, seed index) cell with its derived RNG stream. */
+Report
+runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
+         const SimConfig& sim, double rate, std::size_t rate_index,
+         unsigned seed_index)
+{
+    TrafficConfig t = traffic;
+    t.injectionRate = rate;
+    SimConfig s = sim;
+    s.seed = sim::deriveSeed(sim.seed, rate_index, seed_index);
+    Simulation run(network, t, s);
+    return run.run();
+}
+
+} // namespace
+
 std::vector<SweepPoint>
 Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
-                 const SimConfig& sim, const std::vector<double>& rates)
+                 const SimConfig& sim, const std::vector<double>& rates,
+                 const SweepOptions& opts)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(rates.size());
-    for (const double rate : rates) {
-        TrafficConfig t = traffic;
-        t.injectionRate = rate;
-        Simulation s(network, t, sim);
-        points.push_back({rate, s.run()});
-    }
+    std::vector<SweepPoint> points(rates.size());
+    core::parallelFor(opts.jobs, rates.size(), [&](std::size_t i) {
+        points[i].injectionRate = rates[i];
+        points[i].report =
+            runPoint(network, traffic, sim, rates[i], i, 0);
+    });
     return points;
 }
 
@@ -24,24 +45,34 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
                          const TrafficConfig& traffic,
                          const SimConfig& sim,
                          const std::vector<double>& rates,
-                         unsigned num_seeds)
+                         unsigned num_seeds, const SweepOptions& opts)
 {
     assert(num_seeds >= 1);
+
+    // Fan out over the flattened (rate, seed) grid — finer-grained
+    // than per-rate fan-out, so a few rates with many seeds still
+    // saturate the pool.
+    std::vector<Report> grid(rates.size() * num_seeds);
+    core::parallelFor(
+        opts.jobs, grid.size(), [&](std::size_t cell) {
+            const std::size_t i = cell / num_seeds;
+            const unsigned k = static_cast<unsigned>(cell % num_seeds);
+            grid[cell] =
+                runPoint(network, traffic, sim, rates[i], i, k);
+        });
+
+    // Deterministic merge: aggregate each rate's seeds in seed order,
+    // on the calling thread, so the floating-point accumulation order
+    // (hence the bits of every mean) is independent of opts.jobs.
     std::vector<AveragedPoint> points;
     points.reserve(rates.size());
-    for (const double rate : rates) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
         AveragedPoint avg;
-        avg.injectionRate = rate;
+        avg.injectionRate = rates[i];
         avg.seeds = num_seeds;
         avg.allCompleted = true;
         for (unsigned k = 0; k < num_seeds; ++k) {
-            TrafficConfig t = traffic;
-            t.injectionRate = rate;
-            SimConfig s = sim;
-            s.seed = sim.seed + k;
-            Simulation run(network, t, s);
-            const Report r = run.run();
-
+            const Report& r = grid[i * num_seeds + k];
             avg.allCompleted = avg.allCompleted && r.completed;
             avg.meanLatency += r.avgLatencyCycles;
             avg.meanPowerWatts += r.networkPowerWatts;

@@ -25,6 +25,21 @@ struct SweepPoint
     Report report;
 };
 
+/** Execution options for sweep drivers. */
+struct SweepOptions
+{
+    /**
+     * Worker threads to fan sweep points across: 1 runs everything
+     * inline on the calling thread (the historical behavior), 0 asks
+     * for std::thread::hardware_concurrency(). Results are
+     * bit-identical for every value — each (rate, seed) point owns a
+     * private Network/Simulator/RNG stream seeded by
+     * sim::deriveSeed(sim.seed, rate index, seed index), and points
+     * are merged in index order regardless of completion order.
+     */
+    unsigned jobs = 1;
+};
+
 /** One sweep point aggregated over several seeds. */
 struct AveragedPoint
 {
@@ -46,21 +61,29 @@ class Sweep
     /**
      * Run @p network under @p traffic at each rate in @p rates,
      * returning one report per rate. The traffic config's
-     * injectionRate field is overridden per point.
+     * injectionRate field is overridden per point; each point's RNG
+     * stream is sim::deriveSeed(sim.seed, rate index, 0). With
+     * opts.jobs != 1, points run concurrently with bit-identical
+     * results to the serial order.
      */
     static std::vector<SweepPoint> overRates(
         const NetworkConfig& network, const TrafficConfig& traffic,
-        const SimConfig& sim, const std::vector<double>& rates);
+        const SimConfig& sim, const std::vector<double>& rates,
+        const SweepOptions& opts = {});
 
     /**
-     * Like overRates, but each point runs @p num_seeds times with
-     * seeds sim.seed, sim.seed+1, ... and reports the mean and spread
-     * — the error-bar data behind a publication-quality curve.
+     * Like overRates, but each point runs @p num_seeds times — seed
+     * index k uses RNG stream sim::deriveSeed(sim.seed, rate index, k)
+     * — and reports the mean and spread: the error-bar data behind a
+     * publication-quality curve. The (rate, seed) grid is flattened so
+     * opts.jobs workers can chew independent cells; per-point
+     * aggregation happens afterwards in deterministic seed order, so
+     * the floating-point sums are identical at any job count.
      */
     static std::vector<AveragedPoint> overRatesAveraged(
         const NetworkConfig& network, const TrafficConfig& traffic,
         const SimConfig& sim, const std::vector<double>& rates,
-        unsigned num_seeds);
+        unsigned num_seeds, const SweepOptions& opts = {});
 
     /**
      * Zero-load latency: mean latency at a near-zero injection rate

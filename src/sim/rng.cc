@@ -71,4 +71,20 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t rate_index,
+           std::uint64_t seed_index)
+{
+    // Feed the triple through the same splitmix64 stream the Rng
+    // constructor uses for state expansion: advance a counter seeded
+    // by `base`, folding each index in via multiplication by a large
+    // odd constant so (1, 0) and (0, 1) land far apart.
+    std::uint64_t x = base;
+    (void)splitmix64(x);
+    x ^= rate_index * 0x9e3779b97f4a7c15ULL;
+    (void)splitmix64(x);
+    x ^= seed_index * 0xbf58476d1ce4e5b9ULL;
+    return splitmix64(x);
+}
+
 } // namespace orion::sim

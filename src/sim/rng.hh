@@ -38,6 +38,21 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derive an independent per-point seed from a base seed and a 2-D
+ * point index — the scheme behind sweep parallelism: every
+ * (rate index, seed index) cell of a sweep gets its own RNG stream,
+ * computed from the inputs alone, so a sweep point's results never
+ * depend on which points ran before it (or concurrently with it).
+ *
+ * splitmix64-style finalization of the mixed triple; (0, 0) maps to
+ * the base seed's own stream family but NOT to @p base itself —
+ * derived streams are decorrelated from runs seeded with raw small
+ * integers.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t rate_index,
+                         std::uint64_t seed_index);
+
 } // namespace orion::sim
 
 #endif // ORION_SIM_RNG_HH

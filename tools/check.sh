@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repo check driver: the tier-1 build + test run, then a
+# ThreadSanitizer build of the parallel sweep engine to keep the
+# threading honest. Usage: tools/check.sh [--tsan-only|--tier1-only]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=${1:-all}
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+if [ "$mode" != "--tsan-only" ]; then
+    echo "== tier-1: configure + build + ctest =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j "$jobs"
+    ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+fi
+
+if [ "$mode" != "--tier1-only" ]; then
+    echo "== TSan: parallel sweep engine under ThreadSanitizer =="
+    cmake -B "$root/build-tsan" -S "$root" -DORION_TSAN=ON
+    cmake --build "$root/build-tsan" -j "$jobs" \
+        --target parallel_sweep_test sweep_test
+    "$root/build-tsan/tests/parallel_sweep_test"
+    "$root/build-tsan/tests/sweep_test"
+fi
+
+echo "== check.sh: all green =="

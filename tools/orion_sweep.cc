@@ -70,17 +70,21 @@ main(int argc, char** argv)
         if (opts.helpRequested) {
             std::fputs(cli::usage().c_str(), stdout);
             std::fputs("\nsweep:\n  --rates FIRST:LAST:COUNT   "
-                       "evenly spaced rates (default 0.01:0.20:10)\n",
+                       "evenly spaced rates (default 0.01:0.20:10)\n"
+                       "  --seeds N                  average each point "
+                       "over N seeds\n",
                        stdout);
             return 0;
         }
 
         const double zero_load = Sweep::zeroLoadLatency(
             opts.network, opts.traffic, opts.sim);
+        const SweepOptions sweep_opts{opts.jobs};
 
         if (seeds > 1) {
             const auto points = Sweep::overRatesAveraged(
-                opts.network, opts.traffic, opts.sim, rates, seeds);
+                opts.network, opts.traffic, opts.sim, rates, seeds,
+                sweep_opts);
             report::Table t;
             t.headers = {"rate",        "completed",   "latency_mean",
                          "latency_min", "latency_max", "throughput",
@@ -104,8 +108,8 @@ main(int argc, char** argv)
             return 0;
         }
 
-        const auto points = Sweep::overRates(opts.network, opts.traffic,
-                                             opts.sim, rates);
+        const auto points = Sweep::overRates(
+            opts.network, opts.traffic, opts.sim, rates, sweep_opts);
 
         report::Table t;
         t.headers = {"rate",    "completed", "latency", "p95",
