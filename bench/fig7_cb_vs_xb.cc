@@ -127,7 +127,9 @@ main()
     SimConfig bcast_sim = sim;
     bcast_sim.maxCycles = std::max<sim::Cycle>(
         sim.maxCycles,
-        static_cast<sim::Cycle>(3.0 * sim.samplePackets / rates.front()));
+        static_cast<sim::Cycle>(
+            3.0 * static_cast<double>(sim.samplePackets) /
+            rates.front()));
     const auto cb_b =
         Sweep::overRates(cb, bcast, bcast_sim, rates, sweep_opts);
     const auto xb_b =

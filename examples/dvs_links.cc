@@ -58,7 +58,10 @@ main()
             total += static_cast<double>(c);
         const auto pct = [&](unsigned l) {
             return total > 0.0
-                       ? report::fmt(100.0 * hist[l] / total, 1) + " %"
+                       ? report::fmt(100.0 *
+                                         static_cast<double>(hist[l]) /
+                                         total,
+                                     1) + " %"
                        : std::string("-");
         };
 

@@ -1,0 +1,83 @@
+#include "core/check.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace orion::core {
+
+namespace {
+
+int
+clampToCompiled(int level)
+{
+    if (level < 0)
+        return 0;
+    if (level > ORION_CHECK_MAX_LEVEL)
+        return ORION_CHECK_MAX_LEVEL;
+    return level;
+}
+
+/** Parse the ORION_CHECK environment variable (default: cheap). */
+int
+levelFromEnvironment()
+{
+    const char* env = std::getenv("ORION_CHECK");
+    if (env == nullptr)
+        return clampToCompiled(static_cast<int>(CheckLevel::Cheap));
+    const std::string_view v(env);
+    if (v == "0" || v == "off" || v == "none")
+        return 0;
+    if (v == "1" || v == "cheap" || v == "on")
+        return clampToCompiled(1);
+    if (v == "2" || v == "paranoid" || v == "full")
+        return clampToCompiled(2);
+    // Unrecognized values fall back to the default rather than
+    // silently disabling the checks.
+    return clampToCompiled(static_cast<int>(CheckLevel::Cheap));
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<int>&
+checkLevelStorage()
+{
+    static std::atomic<int> level{levelFromEnvironment()};
+    return level;
+}
+
+} // namespace detail
+
+CheckLevel
+checkLevel()
+{
+    return static_cast<CheckLevel>(
+        detail::checkLevelStorage().load(std::memory_order_relaxed));
+}
+
+void
+setCheckLevel(CheckLevel level)
+{
+    detail::checkLevelStorage().store(
+        clampToCompiled(static_cast<int>(level)),
+        std::memory_order_relaxed);
+}
+
+CheckLevel
+compiledCheckLevel()
+{
+    return static_cast<CheckLevel>(ORION_CHECK_MAX_LEVEL);
+}
+
+void
+checkFailed(const char* kind, const char* cond, const char* file,
+            int line, const std::string& message)
+{
+    std::ostringstream os;
+    os << "ORION " << kind << " failed: " << message << " [" << cond
+       << "] at " << file << ":" << line;
+    throw CheckFailure(os.str());
+}
+
+} // namespace orion::core

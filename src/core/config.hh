@@ -123,6 +123,14 @@ struct SimConfig
     sim::Cycle watchdogCycles = 5000;
     /** RNG seed (runs are fully deterministic given a seed). */
     std::uint64_t seed = 1;
+    /**
+     * Cycles between network-wide invariant audits (flit conservation,
+     * credit accounting, energy sanity — see net/audit.hh). Audits run
+     * only when the runtime check level is at least Cheap; at Paranoid
+     * the interval is divided by 16. 0 disables periodic audits (a
+     * final audit still runs at the end of Simulation::run()).
+     */
+    sim::Cycle auditCycles = 1024;
 };
 
 } // namespace orion

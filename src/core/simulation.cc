@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/check.hh"
+
 namespace orion {
 
 Simulation::Simulation(const NetworkConfig& network,
@@ -19,6 +21,20 @@ Simulation::Simulation(const NetworkConfig& network,
     monitor_ = std::make_unique<net::PowerMonitor>(
         sim_.bus(), netCfg_.buildModels(),
         network_->topology().numNodes(), links_per_node);
+
+    // Invariant audits (flit conservation, credit accounting, energy
+    // sanity) run every auditCycles cycles when checks are enabled at
+    // runtime; paranoid mode audits 16x as often.
+    auditor_ = std::make_unique<net::NetworkAuditor>(*network_,
+                                                    monitor_.get());
+    if (core::checkLevel() != core::CheckLevel::Off) {
+        auditor_->registerWith(sim_);
+        sim::Cycle interval = simCfg_.auditCycles;
+        if (core::checkLevel() == core::CheckLevel::Paranoid &&
+            interval > 16)
+            interval /= 16;
+        sim_.setAuditInterval(interval);
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -37,6 +53,9 @@ Simulation::run()
 
     // Phase 2: open the sample window and measure energy from here on.
     monitor_->reset();
+    // The reset legitimately rewinds the energy counters; forget the
+    // auditor's monotonicity baseline so it isn't a false violation.
+    auditor_->resetEnergyBaseline();
     network_->resetFlitCounts();
     auto& shared = network_->shared();
     shared.sampling = true;
@@ -80,6 +99,11 @@ Simulation::run()
         last_flits = flits;
         last_reads = reads;
     }
+
+    // Final audit at drain: every invariant must hold at the very
+    // cycle boundary the report is assembled from.
+    if (sim_.auditCount() > 0)
+        sim_.runAudits();
 
     // Phase 4: assemble the report.
     Report r;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "net/audit.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 #include "sim/simulator.hh"
@@ -117,6 +118,7 @@ class Simulation
     net::Network& network() { return *network_; }
     net::PowerMonitor& monitor() { return *monitor_; }
     sim::Simulator& simulator() { return sim_; }
+    net::NetworkAuditor& auditor() { return *auditor_; }
     const NetworkConfig& networkConfig() const { return netCfg_; }
     /// @}
 
@@ -128,6 +130,7 @@ class Simulation
     sim::Simulator sim_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<net::PowerMonitor> monitor_;
+    std::unique_ptr<net::NetworkAuditor> auditor_;
 };
 
 } // namespace orion

@@ -107,6 +107,9 @@ Network::wire(sim::Simulator& simulator)
 
             simulator.addChannel(data.get());
             simulator.addChannel(credit.get());
+            linkRecords_.push_back({LinkRecord::Kind::InterRouter,
+                                    static_cast<int>(i), p, j, q,
+                                    data.get(), credit.get()});
             flitLinks_.push_back(std::move(data));
             creditLinks_.push_back(std::move(credit));
             ++interRouterLinks_;
@@ -136,6 +139,10 @@ Network::wire(sim::Simulator& simulator)
         simulator.addChannel(inj.get());
         simulator.addChannel(inj_credit.get());
         simulator.addChannel(ej.get());
+        linkRecords_.push_back({LinkRecord::Kind::Injection, id, local,
+                                id, local, inj.get(), inj_credit.get()});
+        linkRecords_.push_back({LinkRecord::Kind::Ejection, id, local,
+                                id, local, ej.get(), nullptr});
         flitLinks_.push_back(std::move(inj));
         flitLinks_.push_back(std::move(ej));
         creditLinks_.push_back(std::move(inj_credit));

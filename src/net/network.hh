@@ -61,6 +61,36 @@ struct NetworkParams
     InjectionPolicy injection = InjectionPolicy::SingleVc;
 };
 
+/**
+ * One wired channel pair and its endpoints — the audit layer's map of
+ * the network graph (see net::NetworkAuditor).
+ */
+struct LinkRecord
+{
+    enum class Kind
+    {
+        /** Router output port -> neighbor router input port. */
+        InterRouter,
+        /** Node source -> router local input port. */
+        Injection,
+        /** Router local output port -> node sink (no credits). */
+        Ejection,
+    };
+
+    Kind kind;
+    /** Sending node id (router or endpoint — same id). */
+    int fromNode;
+    /** Sender's output port (router ports; local port for wiring). */
+    unsigned fromPort;
+    /** Receiving node id. */
+    int toNode;
+    /** Receiver's input port. */
+    unsigned toPort;
+    router::FlitLink* data;
+    /** Credit-return channel; nullptr for ejection wiring. */
+    router::CreditLink* credit;
+};
+
 /** A fully wired network of routers, nodes, and links. */
 class Network
 {
@@ -78,6 +108,10 @@ class Network
     const SharedState& shared() const { return shared_; }
 
     router::Router& router(int node) { return *routers_[node]; }
+    const router::Router& router(int node) const
+    {
+        return *routers_[node];
+    }
     Node& endpoint(int node) { return *nodes_[node]; }
     const Node& endpoint(int node) const { return *nodes_[node]; }
 
@@ -85,6 +119,12 @@ class Network
     unsigned interRouterLinks() const { return interRouterLinks_; }
     /** Inter-router links whose sender is @p node. */
     unsigned linksFrom(int node) const;
+
+    /** Every wired channel pair, for network-wide audits. */
+    const std::vector<LinkRecord>& linkRecords() const
+    {
+        return linkRecords_;
+    }
 
     /// @name Aggregate statistics
     /// @{
@@ -110,6 +150,7 @@ class Network
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<router::FlitLink>> flitLinks_;
     std::vector<std::unique_ptr<router::CreditLink>> creditLinks_;
+    std::vector<LinkRecord> linkRecords_;
     unsigned interRouterLinks_ = 0;
 };
 

@@ -72,6 +72,7 @@ Node::ejectStage(sim::Cycle now)
     const router::Flit flit = fromRouter_->read();
     assert(flit.packet->dst == node() && "flit ejected at wrong node");
     ++flitsEjected_;
+    ++flitsEjectedTotal_;
     if (!flit.tail)
         return;
 
@@ -164,6 +165,7 @@ Node::injectStage(sim::Cycle now)
 
     injectionCredits_->consume(injectVc_);
     toRouter_->send(std::move(flit), bus_, now);
+    ++flitsInjectedTotal_;
 
     if (++injectSeq_ == packetLength_) {
         injectSeq_ = 0;

@@ -102,6 +102,22 @@ class Node : public sim::Module
     void resetFlitCount() { flitsEjected_ = 0; }
     /// @}
 
+    /// @name Audit ledgers (never reset; net::NetworkAuditor)
+    /// @{
+    /** Flits sent into the router over the node's lifetime. */
+    std::uint64_t flitsInjectedTotal() const
+    {
+        return flitsInjectedTotal_;
+    }
+    /** Flits ejected over the node's lifetime. */
+    std::uint64_t flitsEjectedTotal() const { return flitsEjectedTotal_; }
+    /** Sender-side credit view of the router's local input port. */
+    const router::CreditCounter& injectionCreditCounter() const
+    {
+        return *injectionCredits_;
+    }
+    /// @}
+
   private:
     void ejectStage(sim::Cycle now);
     void generateStage(sim::Cycle now);
@@ -136,6 +152,8 @@ class Node : public sim::Module
     std::uint64_t packetsInjected_ = 0;
     std::uint64_t packetsEjected_ = 0;
     std::uint64_t flitsEjected_ = 0;
+    std::uint64_t flitsInjectedTotal_ = 0;
+    std::uint64_t flitsEjectedTotal_ = 0;
 };
 
 } // namespace orion::net

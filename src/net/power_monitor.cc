@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/check.hh"
+
 namespace orion::net {
 
 const char*
@@ -66,6 +68,11 @@ void
 PowerMonitor::accumulate(int node, ComponentClass c, double joules)
 {
     assert(node >= 0 && static_cast<unsigned>(node) < numNodes_);
+    // Every per-event energy contribution must be non-negative, or the
+    // accumulated counters lose their monotonicity guarantee.
+    ORION_AUDIT(joules >= 0.0,
+                "negative event energy " << joules << " J for node "
+                    << node << " class " << componentClassName(c));
     energy_[node][static_cast<unsigned>(c)] += joules;
 }
 

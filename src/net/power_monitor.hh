@@ -105,6 +105,13 @@ class PowerMonitor
     /** Count of events seen for @p type since the last reset. */
     std::uint64_t eventCount(sim::EventType type) const;
 
+    /** Raw per-(node, class) energy ledger, for audits. */
+    const std::vector<std::array<double, kNumComponentClasses>>&
+    energyLedger() const
+    {
+        return energy_;
+    }
+
     /** Zero all accumulated energy (end of warm-up, paper 4.1). */
     void reset();
 

@@ -1,5 +1,6 @@
 #include "router/arbiter.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace orion::router {
@@ -60,7 +61,9 @@ MatrixArbiter::arbitrate(const std::vector<bool>& reqs)
     }
     // The priority matrix encodes a total order, so an asserted request
     // set always has exactly one unbeaten member.
-    assert(winner >= 0 || delta_req >= 0);
+    assert(winner >= 0 ||
+           std::none_of(reqs.begin(), reqs.end(),
+                        [](bool r) { return r; }));
 
     unsigned delta_pri = 0;
     if (winner >= 0) {

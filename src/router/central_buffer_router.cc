@@ -52,6 +52,44 @@ CentralBufferRouter::outputQueueLength(unsigned port) const
     return outputQueues_[port].size();
 }
 
+std::size_t
+CentralBufferRouter::bufferedFlits() const
+{
+    std::size_t n = 0;
+    for (const auto& fifo : inputFifos_)
+        n += fifo.size();
+    return n;
+}
+
+std::size_t
+CentralBufferRouter::pooledFlits() const
+{
+    std::size_t n = 0;
+    for (const auto& q : outputQueues_)
+        for (const auto& pkt : q)
+            n += pkt->flits.size();
+    return n;
+}
+
+std::size_t
+CentralBufferRouter::reservedSlots() const
+{
+    std::size_t n = 0;
+    for (const auto& q : outputQueues_) {
+        for (const auto& pkt : q) {
+            if (!pkt->complete)
+                n += pkt->length - pkt->written;
+        }
+    }
+    return n;
+}
+
+std::size_t
+CentralBufferRouter::residentFlits() const
+{
+    return bufferedFlits() + pooledFlits();
+}
+
 void
 CentralBufferRouter::cycle(sim::Cycle now)
 {
@@ -117,6 +155,7 @@ CentralBufferRouter::readStage(sim::Cycle now)
 
         assert(outLinks_[o] && "flit routed to unconnected output");
         outLinks_[o]->send(std::move(flit), bus_, now);
+        ++flitsForwarded_;
 
         if (was_tail) {
             assert(pkt.complete || pkt.flits.empty());
@@ -174,11 +213,13 @@ CentralBufferRouter::writeStage(sim::Cycle now)
             assert(freeSlots_ >= flit.packet->length);
             freeSlots_ -= flit.packet->length;
             auto pkt = std::make_unique<CbPacket>();
+            pkt->length = flit.packet->length;
             currentWrite_[p] = pkt.get();
             outputQueues_[o].push_back(std::move(pkt));
         }
         CbPacket* pkt = currentWrite_[p];
         assert(pkt && "body flit with no admitted packet");
+        ++pkt->written;
 
         const unsigned delta_bits =
             power::hammingDistance(flit.payload, lastWritten_[w]);
@@ -211,6 +252,7 @@ CentralBufferRouter::bwStage(sim::Cycle now)
         assert(!inputFifos_[p].full() &&
                "credit discipline violated: buffer overflow");
         inputFifos_[p].write(std::move(flit), now);
+        ++flitsArrived_;
     }
 }
 

@@ -68,11 +68,20 @@ class CentralBufferRouter : public Router
 
     void cycle(sim::Cycle now) override;
 
-    /// @name Introspection (tests)
+    /// @name Introspection (tests, audits)
     /// @{
     unsigned freeCentralSlots() const { return freeSlots_; }
     const FlitFifo& inputFifo(unsigned port) const;
     std::size_t outputQueueLength(unsigned port) const;
+    /** Flits buffered across the per-port input FIFOs. */
+    std::size_t bufferedFlits() const;
+    /** Flits physically present in the central pool. */
+    std::size_t pooledFlits() const;
+    /** Pool slots reserved by admitted-but-unwritten flits (virtual
+     * cut-through holds a whole packet's space at head admission). */
+    std::size_t reservedSlots() const;
+    /** bufferedFlits() + pooledFlits() (flit-conservation audit). */
+    std::size_t residentFlits() const override;
     /// @}
 
   private:
@@ -83,6 +92,10 @@ class CentralBufferRouter : public Router
         std::deque<std::pair<Flit, sim::Cycle>> flits;
         /** True once the tail has been written. */
         bool complete = false;
+        /** Packet length reserved against the pool at admission. */
+        unsigned length = 0;
+        /** Flits written into the pool so far (audit bookkeeping). */
+        unsigned written = 0;
     };
 
     void readStage(sim::Cycle now);

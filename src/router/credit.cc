@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "core/check.hh"
+
 namespace orion::router {
 
 CreditCounter::CreditCounter(unsigned vcs, unsigned depth, bool unlimited)
@@ -9,6 +11,13 @@ CreditCounter::CreditCounter(unsigned vcs, unsigned depth, bool unlimited)
 {
     assert(vcs > 0);
     assert(unlimited || depth > 0);
+}
+
+unsigned
+CreditCounter::depth(unsigned vc) const
+{
+    assert(vc < depth_.size());
+    return depth_[vc];
 }
 
 unsigned
@@ -45,7 +54,9 @@ CreditCounter::consume(unsigned vc)
     assert(vc < count_.size());
     if (unlimited_)
         return;
-    assert(count_[vc] > 0 && "credit underflow");
+    ORION_CHECK(count_[vc] > 0,
+                "credit underflow: consume on exhausted VC " << vc
+                    << " (depth " << depth_[vc] << ")");
     --count_[vc];
 }
 
@@ -55,8 +66,18 @@ CreditCounter::restore(unsigned vc)
     assert(vc < count_.size());
     if (unlimited_)
         return;
-    assert(count_[vc] < depth_[vc] && "credit overflow");
+    ORION_CHECK(count_[vc] < depth_[vc],
+                "credit overflow: restore beyond depth "
+                    << depth_[vc] << " on VC " << vc);
     ++count_[vc];
+}
+
+void
+CreditCounter::debugCorruptCredit(unsigned vc)
+{
+    assert(vc < count_.size());
+    if (count_[vc] > 0)
+        --count_[vc];
 }
 
 } // namespace orion::router

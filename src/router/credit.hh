@@ -45,6 +45,9 @@ class CreditCounter
     unsigned vcs() const { return static_cast<unsigned>(count_.size()); }
     bool unlimited() const { return unlimited_; }
 
+    /** Downstream buffer depth of VC @p vc (audits). */
+    unsigned depth(unsigned vc) const;
+
     /** Free slots available on downstream VC @p vc. */
     unsigned available(unsigned vc) const;
 
@@ -60,6 +63,14 @@ class CreditCounter
 
     /** Return one credit (downstream freed a slot). */
     void restore(unsigned vc);
+
+    /**
+     * Test-only corruption hook: silently steal one credit from
+     * VC @p vc without any matching flit motion, so the network-wide
+     * credit audit can prove it detects real accounting bugs. Never
+     * call outside tests.
+     */
+    void debugCorruptCredit(unsigned vc);
 
   private:
     std::vector<unsigned> count_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/check.hh"
+
 namespace orion::router {
 
 FlitFifo::FlitFifo(sim::EventBus& bus, int node, int component,
@@ -20,7 +22,9 @@ FlitFifo::FlitFifo(sim::EventBus& bus, int node, int component,
 void
 FlitFifo::write(Flit flit, sim::Cycle now)
 {
-    assert(!full());
+    ORION_CHECK(!full(), "FIFO overflow (credit discipline violated) at "
+                             << "node " << node_ << " component "
+                             << component_ << " depth " << capacity_);
     assert(flit.payload.width() == flitBits_);
 
     const unsigned delta_bw =
@@ -47,7 +51,9 @@ FlitFifo::front() const
 Flit
 FlitFifo::read(sim::Cycle now)
 {
-    assert(!empty());
+    ORION_CHECK(!empty(), "FIFO underflow: read from empty buffer at "
+                              << "node " << node_ << " component "
+                              << component_);
     Flit f = std::move(queue_.front());
     queue_.pop_front();
     bus_.emit({sim::EventType::BufferRead, node_, component_, 0, 0, now});

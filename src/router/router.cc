@@ -58,6 +58,20 @@ Router::outputCredits(unsigned port, unsigned vc) const
     return outputCredits_[port]->available(vc);
 }
 
+const CreditCounter*
+Router::outputCreditCounter(unsigned port) const
+{
+    assert(port < params_.ports);
+    return outputCredits_[port].get();
+}
+
+void
+Router::debugCorruptCredit(unsigned port, unsigned vc)
+{
+    assert(port < params_.ports && outputCredits_[port]);
+    outputCredits_[port]->debugCorruptCredit(vc);
+}
+
 void
 Router::receiveCredits()
 {

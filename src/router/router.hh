@@ -112,6 +112,48 @@ class Router : public sim::Module
     /** Credits available toward output @p port, VC @p vc. */
     unsigned outputCredits(unsigned port, unsigned vc) const;
 
+    /// @name Audit / test hooks (net::NetworkAuditor, tests)
+    /// @{
+    /**
+     * The sender-side credit counter for output @p port, or nullptr
+     * for an unconnected port. Read-only network-audit access.
+     */
+    const CreditCounter* outputCreditCounter(unsigned port) const;
+
+    /**
+     * Flits resident inside this router (input buffers, pipeline
+     * latches, central-buffer pool) — the router's contribution to the
+     * network-wide flit-conservation sum.
+     */
+    virtual std::size_t residentFlits() const = 0;
+
+    /**
+     * Flits latched for departure through output @p port carrying
+     * downstream VC @p vc — flits whose output credit is already
+     * consumed but which have not yet reached the link (the crossbar
+     * router's SA -> ST latch). Part of the credit-audit equation.
+     */
+    virtual std::size_t
+    latchedForOutput(unsigned port, unsigned vc) const
+    {
+        (void)port;
+        (void)vc;
+        return 0;
+    }
+
+    /**
+     * Test-only corruption hook: steal one sender-side credit for
+     * output @p port, VC @p vc, with no matching flit motion. Exists
+     * so the credit audit's detection power is itself testable.
+     */
+    void debugCorruptCredit(unsigned port, unsigned vc);
+
+    /** Flits that ever entered this router (lifetime ledger). */
+    std::uint64_t flitsArrived() const { return flitsArrived_; }
+    /** Flits that ever left this router (lifetime ledger). */
+    std::uint64_t flitsForwarded() const { return flitsForwarded_; }
+    /// @}
+
   protected:
     /** Drain credit-in channels and restore output credit counters. */
     void receiveCredits();
@@ -136,6 +178,11 @@ class Router : public sim::Module
     std::vector<FlitLink*> outLinks_;
     std::vector<CreditLink*> creditInLinks_;
     std::vector<std::unique_ptr<CreditCounter>> outputCredits_;
+
+    /** Lifetime arrival/departure ledgers (conservation audit):
+     * flitsArrived_ == flitsForwarded_ + residentFlits() always. */
+    std::uint64_t flitsArrived_ = 0;
+    std::uint64_t flitsForwarded_ = 0;
 };
 
 } // namespace orion::router

@@ -59,6 +59,20 @@ class CrossbarRouter : public Router
     bool vaEnabled() const { return vaEnabled_; }
     /** Flits currently buffered across all input FIFOs. */
     std::size_t bufferedFlits() const;
+    /** Flits sitting in the SA -> ST pipeline latches. */
+    std::size_t latchedFlits() const;
+    /** bufferedFlits() + latchedFlits() (flit-conservation audit). */
+    std::size_t residentFlits() const override;
+    std::size_t latchedForOutput(unsigned port,
+                                 unsigned vc) const override;
+
+    /**
+     * Test-only corruption hook: silently discard the head flit of
+     * input FIFO (@p port, @p vc) with no credit return and no
+     * delivery, so the flit-conservation audit can prove it detects
+     * lost flits. The FIFO must not be empty.
+     */
+    void debugDropFlit(unsigned port, unsigned vc);
     /// @}
 
   private:

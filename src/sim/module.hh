@@ -116,6 +116,23 @@ class Channel
     /** True if something was staged this cycle (producer-side query). */
     bool staged() const { return staged_.has_value(); }
 
+    /// @name Audit-only introspection (net::NetworkAuditor)
+    /// @{
+    /** The in-delivery message, or nullptr (does not consume). */
+    const T*
+    auditCurrent() const
+    {
+        return current_.has_value() ? &*current_ : nullptr;
+    }
+
+    /** The staged (not yet delivered) message, or nullptr. */
+    const T*
+    auditStaged() const
+    {
+        return staged_.has_value() ? &*staged_ : nullptr;
+    }
+    /// @}
+
   private:
     std::optional<T> staged_;
     std::optional<T> current_;

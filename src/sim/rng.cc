@@ -62,7 +62,7 @@ double
 Rng::uniform()
 {
     // 53 high-quality bits into [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 bool

@@ -15,6 +15,19 @@ Simulator::addChannel(ChannelBase* c)
 }
 
 void
+Simulator::addAudit(std::string name, std::function<void()> fn)
+{
+    audits_.push_back({std::move(name), std::move(fn)});
+}
+
+void
+Simulator::runAudits() const
+{
+    for (const auto& a : audits_)
+        a.fn();
+}
+
+void
 Simulator::step()
 {
     for (auto* m : modules_)
@@ -22,6 +35,13 @@ Simulator::step()
     for (auto* c : channels_)
         c->advanceChannel();
     ++now_;
+    // Audits observe the post-advance state: every channel's staged
+    // slot is empty, so in-flight messages are exactly the current
+    // slots — the well-defined cycle boundary the invariants assume.
+    if (auditInterval_ != 0 && !audits_.empty() &&
+        now_ % auditInterval_ == 0) {
+        runAudits();
+    }
 }
 
 void

@@ -12,6 +12,7 @@
 #define ORION_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/event.hh"
@@ -54,12 +55,43 @@ class Simulator
     /** Number of registered modules (paper quotes 59 for a 4x4 VC net). */
     std::size_t moduleCount() const { return modules_.size(); }
 
+    /// @name Network-wide audits (see docs/QUALITY.md)
+    /// @{
+    /**
+     * Register a named audit. Audits run at every audit-interval
+     * boundary (see setAuditInterval) and whenever runAudits() is
+     * called explicitly (e.g. at drain). An audit signals violation by
+     * throwing (typically core::CheckFailure via ORION_CHECK).
+     */
+    void addAudit(std::string name, std::function<void()> fn);
+
+    /**
+     * Run every registered audit each @p cycles cycles (0 disables
+     * periodic auditing; explicit runAudits() calls still work).
+     */
+    void setAuditInterval(Cycle cycles) { auditInterval_ = cycles; }
+    Cycle auditInterval() const { return auditInterval_; }
+
+    /** Run all registered audits now, in registration order. */
+    void runAudits() const;
+
+    std::size_t auditCount() const { return audits_.size(); }
+    /// @}
+
   private:
+    struct Audit
+    {
+        std::string name;
+        std::function<void()> fn;
+    };
+
     void step();
 
     EventBus bus_;
     std::vector<Module*> modules_;
     std::vector<ChannelBase*> channels_;
+    std::vector<Audit> audits_;
+    Cycle auditInterval_ = 0;
     Cycle now_ = 0;
 };
 

@@ -63,15 +63,15 @@ Histogram::quantile(double q) const
     assert(q >= 0.0 && q <= 1.0);
     if (total_ == 0)
         return 0.0;
-    const auto target =
-        static_cast<std::uint64_t>(std::ceil(q * total_));
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         seen += bins_[i];
         if (seen >= target)
-            return (i + 1) * binWidth_;
+            return static_cast<double>(i + 1) * binWidth_;
     }
-    return bins_.size() * binWidth_;
+    return static_cast<double>(bins_.size()) * binWidth_;
 }
 
 } // namespace orion::sim

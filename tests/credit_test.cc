@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.hh"
 #include "router/credit.hh"
 
 namespace {
 
+using orion::core::CheckFailure;
 using orion::router::CreditCounter;
 
 TEST(CreditCounter, StartsFull)
@@ -48,17 +50,34 @@ TEST(CreditCounter, UnlimitedNeverDepletes)
     c.restore(0); // no-op, no overflow
 }
 
-TEST(CreditCounterDeath, UnderflowAsserts)
+TEST(CreditCounter, UnderflowThrows)
 {
     CreditCounter c(1, 1);
     c.consume(0);
-    EXPECT_DEATH(c.consume(0), "credit underflow");
+    EXPECT_THROW(c.consume(0), CheckFailure);
 }
 
-TEST(CreditCounterDeath, OverflowAsserts)
+TEST(CreditCounter, OverflowThrows)
 {
     CreditCounter c(1, 2);
-    EXPECT_DEATH(c.restore(0), "credit overflow");
+    EXPECT_THROW(c.restore(0), CheckFailure);
+}
+
+TEST(CreditCounter, UnderflowMessageNamesVc)
+{
+    CreditCounter c(2, 4);
+    for (int i = 0; i < 4; ++i)
+        c.consume(1);
+    try {
+        c.consume(1);
+        FAIL() << "expected CheckFailure";
+    } catch (const CheckFailure& e) {
+        EXPECT_NE(std::string(e.what()).find("credit underflow"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("VC 1"), std::string::npos)
+            << e.what();
+    }
 }
 
 } // namespace

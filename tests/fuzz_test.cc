@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.hh"
 #include "core/config.hh"
 #include "core/simulation.hh"
 #include "sim/rng.hh"
@@ -92,6 +93,19 @@ class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfig)
 {
+    // Fuzz at the paranoid check level: every random configuration is
+    // audited for flit conservation, credit accounting, and energy
+    // sanity at frequent intervals during its run (net/audit.hh). A
+    // run that breaks an invariant throws core::CheckFailure and fails
+    // the test with a diagnostic naming the node/port.
+    const core::CheckLevel saved = core::checkLevel();
+    core::setCheckLevel(core::CheckLevel::Paranoid);
+    struct LevelGuard
+    {
+        core::CheckLevel level;
+        ~LevelGuard() { core::setCheckLevel(level); }
+    } guard{saved};
+
     const std::uint64_t seed = GetParam();
     const NetworkConfig cfg = randomConfig(seed);
     ASSERT_NO_THROW(cfg.validate()) << "fuzz seed " << seed;
@@ -102,6 +116,7 @@ TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfig)
     sim.samplePackets = 400;
     sim.maxCycles = 120000;
     sim.seed = seed;
+    sim.auditCycles = 256;
 
     Simulation s(cfg, traffic, sim);
     const Report r = s.run();

@@ -124,9 +124,11 @@ TEST(Fig6Shapes, BroadcastPowerPeaksAtSourceAndDecays)
         return r.nodePowerWatts[static_cast<unsigned>(y * 4 + x)];
     };
     // Source dominates.
-    for (unsigned n = 0; n < 16; ++n)
-        if (n != 9)
+    for (unsigned n = 0; n < 16; ++n) {
+        if (n != 9) {
             EXPECT_GT(at(1, 2), r.nodePowerWatts[n]);
+        }
+    }
     // Power decays with Manhattan distance (class means).
     const net::Topology topo({4, 4}, true);
     double prev = 1e30;

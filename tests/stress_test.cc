@@ -72,9 +72,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("wh64", "vc16", "vc64",
                                          "vc128", "xb", "cb"),
                        ::testing::Values(1u, 99u)),
-    [](const auto& info) {
-        return std::string(std::get<0>(info.param)) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto& test_info) {
+        return std::string(std::get<0>(test_info.param)) + "_seed" +
+               std::to_string(std::get<1>(test_info.param));
     });
 
 class AdversarialPattern

@@ -17,9 +17,20 @@ using namespace orion::net;
 
 const Topology kTopo({4, 4}, true);
 
+/** TrafficParams with only pattern and rate set (defaults elsewhere,
+ * avoiding -Wmissing-field-initializers on aggregate init). */
+TrafficParams
+makeParams(TrafficPattern pattern, double rate)
+{
+    TrafficParams p;
+    p.pattern = pattern;
+    p.injectionRate = rate;
+    return p;
+}
+
 TEST(UniformRandom, NeverSelfAndCoversAll)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::UniformRandom, 0.1});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::UniformRandom, 0.1));
     sim::Rng rng(1);
     std::vector<int> counts(16, 0);
     for (int i = 0; i < 16000; ++i) {
@@ -41,7 +52,7 @@ TEST(UniformRandom, NeverSelfAndCoversAll)
 
 TEST(UniformRandom, InjectionRateMatches)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::UniformRandom, 0.2});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::UniformRandom, 0.2));
     sim::Rng rng(2);
     int injections = 0;
     const int cycles = 50000;
@@ -53,7 +64,7 @@ TEST(UniformRandom, InjectionRateMatches)
 
 TEST(Broadcast, OnlySourceInjects)
 {
-    TrafficParams p{TrafficPattern::Broadcast, 0.2};
+    TrafficParams p = makeParams(TrafficPattern::Broadcast, 0.2);
     p.broadcastSource = kTopo.nodeAt({1, 2}); // paper's source node
     TrafficGenerator gen(kTopo, p);
     EXPECT_TRUE(gen.injects(kTopo.nodeAt({1, 2})));
@@ -68,7 +79,7 @@ TEST(Broadcast, OnlySourceInjects)
 
 TEST(Broadcast, CoversAllOtherNodesEvenly)
 {
-    TrafficParams p{TrafficPattern::Broadcast, 0.2};
+    TrafficParams p = makeParams(TrafficPattern::Broadcast, 0.2);
     p.broadcastSource = 6;
     TrafficGenerator gen(kTopo, p);
     sim::Rng rng(3);
@@ -76,14 +87,16 @@ TEST(Broadcast, CoversAllOtherNodesEvenly)
     for (int i = 0; i < 150; ++i)
         ++counts[static_cast<unsigned>(gen.pickDestination(6, rng))];
     EXPECT_EQ(counts[6], 0);
-    for (int n = 0; n < 16; ++n)
-        if (n != 6)
+    for (int n = 0; n < 16; ++n) {
+        if (n != 6) {
             EXPECT_EQ(counts[static_cast<unsigned>(n)], 10);
+        }
+    }
 }
 
 TEST(Transpose, SwapsCoordinates)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::Transpose, 0.1});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::Transpose, 0.1));
     sim::Rng rng(4);
     EXPECT_EQ(gen.pickDestination(kTopo.nodeAt({1, 3}), rng),
               kTopo.nodeAt({3, 1}));
@@ -94,7 +107,7 @@ TEST(Transpose, SwapsCoordinates)
 
 TEST(BitComplement, MirrorsNodeId)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::BitComplement, 0.1});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::BitComplement, 0.1));
     sim::Rng rng(5);
     EXPECT_EQ(gen.pickDestination(0, rng), 15);
     EXPECT_EQ(gen.pickDestination(5, rng), 10);
@@ -102,7 +115,7 @@ TEST(BitComplement, MirrorsNodeId)
 
 TEST(Tornado, ShiftsHalfRadix)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::Tornado, 0.1});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::Tornado, 0.1));
     sim::Rng rng(6);
     // floor((4-1)/2) = 1 shift per dimension.
     EXPECT_EQ(gen.pickDestination(kTopo.nodeAt({0, 0}), rng),
@@ -113,7 +126,7 @@ TEST(Tornado, ShiftsHalfRadix)
 
 TEST(NearestNeighbor, PlusXNeighbor)
 {
-    TrafficGenerator gen(kTopo, {TrafficPattern::NearestNeighbor, 0.1});
+    TrafficGenerator gen(kTopo, makeParams(TrafficPattern::NearestNeighbor, 0.1));
     sim::Rng rng(7);
     EXPECT_EQ(gen.pickDestination(kTopo.nodeAt({3, 1}), rng),
               kTopo.nodeAt({0, 1}));
@@ -121,7 +134,7 @@ TEST(NearestNeighbor, PlusXNeighbor)
 
 TEST(Hotspot, ConcentratesTraffic)
 {
-    TrafficParams p{TrafficPattern::Hotspot, 0.1};
+    TrafficParams p = makeParams(TrafficPattern::Hotspot, 0.1);
     p.hotspotNode = 9;
     p.hotspotFraction = 0.5;
     TrafficGenerator gen(kTopo, p);
@@ -137,7 +150,7 @@ TEST(Hotspot, ConcentratesTraffic)
 
 TEST(Hotspot, HotNodeSendsUniform)
 {
-    TrafficParams p{TrafficPattern::Hotspot, 0.1};
+    TrafficParams p = makeParams(TrafficPattern::Hotspot, 0.1);
     p.hotspotNode = 9;
     TrafficGenerator gen(kTopo, p);
     sim::Rng rng(9);
@@ -152,7 +165,7 @@ TEST(AllPatterns, DestinationIsNeverSelf)
           TrafficPattern::Transpose, TrafficPattern::BitComplement,
           TrafficPattern::Tornado, TrafficPattern::NearestNeighbor,
           TrafficPattern::Hotspot}) {
-        TrafficParams p{pattern, 0.1};
+        TrafficParams p = makeParams(pattern, 0.1);
         p.broadcastSource = 3;
         TrafficGenerator gen(kTopo, p);
         sim::Rng rng(10);

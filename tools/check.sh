@@ -1,7 +1,17 @@
 #!/bin/sh
-# Repo check driver: the tier-1 build + test run, then a
-# ThreadSanitizer build of the parallel sweep engine to keep the
-# threading honest. Usage: tools/check.sh [--tsan-only|--tier1-only]
+# Repo check driver — the full correctness matrix:
+#
+#   1. tier-1:   configure + build (warnings-as-errors) + full ctest
+#   2. asan:     ASan+UBSan build; fuzz, audit and parallel-sweep
+#                tests at the paranoid check level
+#   3. tsan:     ThreadSanitizer build of the parallel sweep engine
+#   4. overhead: bench/sweep_speed at check levels off/cheap/paranoid,
+#                reporting the runtime cost of the invariant layer
+#                (cheap must stay under 5%)
+#   5. lint:     tools/orion_lint.py, plus clang-tidy when installed
+#
+# Usage: tools/check.sh [--tier1-only|--asan-only|--tsan-only|
+#                        --overhead-only|--lint-only]
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -9,20 +19,83 @@ mode=${1:-all}
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 
-if [ "$mode" != "--tsan-only" ]; then
-    echo "== tier-1: configure + build + ctest =="
-    cmake -B "$root/build" -S "$root"
+run_leg() {
+    case "$mode" in
+        all|"--$1-only") return 0 ;;
+        *) return 1 ;;
+    esac
+}
+
+if run_leg tier1; then
+    echo "== tier-1: configure + build (-Werror) + ctest =="
+    cmake -B "$root/build" -S "$root" -DORION_WERROR=ON
     cmake --build "$root/build" -j "$jobs"
     ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 fi
 
-if [ "$mode" != "--tier1-only" ]; then
+if run_leg asan; then
+    echo "== ASan+UBSan: fuzz/audit/sweep tests, paranoid checks =="
+    cmake -B "$root/build-asan" -S "$root" \
+        -DORION_ASAN=ON -DORION_UBSAN=ON -DORION_WERROR=ON
+    cmake --build "$root/build-asan" -j "$jobs" \
+        --target fuzz_test audit_test parallel_sweep_test sweep_test
+    for t in fuzz_test audit_test parallel_sweep_test sweep_test; do
+        ORION_CHECK=paranoid "$root/build-asan/tests/$t"
+    done
+fi
+
+if run_leg tsan; then
     echo "== TSan: parallel sweep engine under ThreadSanitizer =="
     cmake -B "$root/build-tsan" -S "$root" -DORION_TSAN=ON
     cmake --build "$root/build-tsan" -j "$jobs" \
         --target parallel_sweep_test sweep_test
-    "$root/build-tsan/tests/parallel_sweep_test"
-    "$root/build-tsan/tests/sweep_test"
+    ORION_CHECK=paranoid "$root/build-tsan/tests/parallel_sweep_test"
+    ORION_CHECK=paranoid "$root/build-tsan/tests/sweep_test"
+fi
+
+if run_leg overhead; then
+    echo "== overhead: invariant-check cost on bench/sweep_speed =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j "$jobs" --target sweep_speed
+    overhead_dir="$root/build/overhead"
+    mkdir -p "$overhead_dir"
+    # Alternate levels and keep the best of 3 runs per level: single
+    # runs on a loaded machine are noisier than the effect measured.
+    for rep in 1 2 3; do
+        for level in off cheap paranoid; do
+            ORION_CHECK=$level \
+                ORION_BENCH_JSON="$overhead_dir/sweep_${level}_$rep.json" \
+                "$root/build/bench/sweep_speed" > /dev/null
+        done
+    done
+    python3 - "$overhead_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+wall = {}
+for level in ("off", "cheap", "paranoid"):
+    wall[level] = min(
+        json.load(open(f"{d}/sweep_{level}_{rep}.json"))["serial"]["wall_s"]
+        for rep in (1, 2, 3))
+base = wall["off"]
+cheap = 100.0 * (wall["cheap"] - base) / base
+paranoid = 100.0 * (wall["paranoid"] - base) / base
+print(f"check-level overhead vs off ({base:.2f} s serial, best of 3):")
+print(f"  cheap    {wall['cheap']:.2f} s  ({cheap:+.1f}%)")
+print(f"  paranoid {wall['paranoid']:.2f} s  ({paranoid:+.1f}%)")
+if cheap >= 5.0:
+    sys.exit(f"FAIL: cheap-level overhead {cheap:.1f}% >= 5%")
+EOF
+fi
+
+if run_leg lint; then
+    echo "== lint: orion_lint + clang-tidy =="
+    python3 "$root/tools/orion_lint.py" --root "$root"
+    if command -v clang-tidy > /dev/null 2>&1; then
+        cmake -B "$root/build" -S "$root" > /dev/null
+        cmake --build "$root/build" --target lint
+    else
+        echo "clang-tidy not installed; skipping (CI runs it)"
+    fi
 fi
 
 echo "== check.sh: all green =="
