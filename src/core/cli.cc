@@ -124,6 +124,36 @@ deadlockByName(const std::string& name)
     fail("--deadlock: unknown mode '" + name + "'");
 }
 
+net::OutageWindow
+parseOutageSpec(const std::string& spec)
+{
+    net::OutageWindow w;
+    unsigned long long start = 0;
+    unsigned long long end = 0;
+    long long link = -1;
+    char tail = 0;
+    const int n3 = std::sscanf(spec.c_str(), "%llu:%llu:%lld%c",
+                               &start, &end, &link, &tail);
+    if (n3 != 3) {
+        link = -1;
+        const int n2 = std::sscanf(spec.c_str(), "%llu:%llu%c",
+                                   &start, &end, &tail);
+        if (n2 != 2)
+            fail("--link-outage: wants START:END[:LINK]: '" + spec +
+                 "'");
+    }
+    if (end <= start)
+        fail("--link-outage: window end must be after start: '" +
+             spec + "'");
+    if (link < -1)
+        fail("--link-outage: link must be >= 0 (or omitted): '" +
+             spec + "'");
+    w.start = start;
+    w.end = end;
+    w.link = static_cast<int>(link);
+    return w;
+}
+
 } // namespace
 
 Options
@@ -220,6 +250,28 @@ parse(const std::vector<std::string>& args)
             o.sim.maxCycles = parseU64(a, value());
         } else if (a == "--seed") {
             o.sim.seed = parseU64(a, value());
+        } else if (a == "--link-ber") {
+            const double ber = parseDouble(a, value());
+            if (ber < 0.0 || ber > 1.0)
+                fail("--link-ber: must be in [0, 1]");
+            o.sim.fault.linkBitErrorRate = ber;
+        } else if (a == "--link-outage") {
+            o.sim.fault.outages.push_back(parseOutageSpec(value()));
+        } else if (a == "--fault-seed") {
+            o.sim.fault.faultSeed = parseU64(a, value());
+        } else if (a == "--retry-limit") {
+            const unsigned long long n = parseU64(a, value());
+            if (n > 32)
+                fail("--retry-limit: must be <= 32");
+            o.sim.fault.retryLimit = static_cast<unsigned>(n);
+        } else if (a == "--retry-backoff") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1)
+                fail("--retry-backoff: must be >= 1");
+            o.sim.fault.retryBackoffCycles =
+                static_cast<sim::Cycle>(n);
+        } else if (a == "--debug-poison-rate") {
+            o.sim.debugPoisonRate = parseDouble(a, value());
         } else if (a == "--jobs") {
             const unsigned long long n = parseU64(a, value());
             if (n < 1)
@@ -238,6 +290,11 @@ parse(const std::vector<std::string>& args)
     // here so errors surface before the (possibly long) run starts.
     o.network.validate();
     validateTraffic(o.network, o.traffic);
+    try {
+        o.sim.fault.validate();
+    } catch (const std::invalid_argument& e) {
+        fail(e.what());
+    }
     return o;
 }
 
@@ -291,6 +348,18 @@ usage()
            "  --max-cycles N       cycle cap (default 1000000)\n"
            "  --seed N             RNG seed (default 1)\n"
            "\n"
+           "fault injection (defaults: disabled):\n"
+           "  --link-ber F         per-bit link error rate in [0,1]\n"
+           "  --link-outage START:END[:LINK]\n"
+           "                       drop all flits on LINK (random link\n"
+           "                       if omitted) during [START, END)\n"
+           "  --fault-seed N       fault schedule seed (default:\n"
+           "                       derived from --seed)\n"
+           "  --retry-limit N      retransmissions per packet "
+           "(default 8)\n"
+           "  --retry-backoff N    base retry backoff cycles "
+           "(default 8)\n"
+           "\n"
            "execution:\n"
            "  --jobs N             sweep worker threads (default: "
            "hardware\n"
@@ -307,12 +376,13 @@ formatReport(const Options& opts, const Report& r)
 {
     std::ostringstream out;
     out << "orion_sim run summary\n";
-    out << "  status            : "
-        << (r.completed
-                ? "completed"
-                : (r.deadlockSuspected ? "DEADLOCK suspected"
-                                       : "cycle cap reached"))
+    out << "  status            : " << stopReasonName(r.stopReason)
         << "\n";
+    if (r.stopReason == StopReason::CheckFailure &&
+        !r.checkFailureDiagnostic.empty()) {
+        out << "  diagnostic        : " << r.checkFailureDiagnostic
+            << "\n";
+    }
     out << "  cycles            : " << r.totalCycles << " ("
         << r.measuredCycles << " measured)\n";
     out << "  sample packets    : " << r.sampleEjected << "/"
@@ -340,6 +410,18 @@ formatReport(const Options& opts, const Report& r)
         << report::fmt(r.breakdownWatts.centralBuffer, 3) << " W\n";
     out << "    links           : "
         << report::fmt(r.breakdownWatts.link, 3) << " W\n";
+
+    if (r.flitsCorrupted + r.flitsOutageDropped + r.flitsDiscarded +
+            r.packetsRetransmitted + r.packetsLost >
+        0) {
+        out << "  faults            : " << r.flitsCorrupted
+            << " corrupted, " << r.flitsOutageDropped
+            << " outage-dropped, " << r.flitsDiscarded
+            << " discarded flits\n";
+        out << "  recovery          : " << r.packetsRetransmitted
+            << " retransmitted, " << r.packetsLost
+            << " lost packets\n";
+    }
 
     if (opts.breakdown) {
         const auto& dims = opts.network.net.dims;
@@ -376,12 +458,17 @@ formatReport(const Options& opts, const Report& r)
 std::string
 formatCsvReport(const Options& opts, const Report& r)
 {
+    // New columns append at the end so the historical header prefix
+    // (and existing column positions) stay stable for downstream
+    // scripts.
     report::Table t;
     t.headers = {"rate",          "completed",  "deadlock",
                  "cycles",        "latency",    "p50",
                  "p95",           "p99",        "throughput",
                  "power_w",       "buffer_w",   "crossbar_w",
-                 "arbiter_w",     "cbuffer_w",  "link_w"};
+                 "arbiter_w",     "cbuffer_w",  "link_w",
+                 "stop_reason",   "flits_corrupted",
+                 "packets_retransmitted",      "packets_lost"};
     t.addRow({
         report::fmt(opts.traffic.injectionRate, 4),
         r.completed ? "1" : "0",
@@ -398,6 +485,10 @@ formatCsvReport(const Options& opts, const Report& r)
         report::fmt(r.breakdownWatts.arbiter, 5),
         report::fmt(r.breakdownWatts.centralBuffer, 4),
         report::fmt(r.breakdownWatts.link, 4),
+        stopReasonName(r.stopReason),
+        std::to_string(r.flitsCorrupted),
+        std::to_string(r.packetsRetransmitted),
+        std::to_string(r.packetsLost),
     });
     return report::formatCsv(t);
 }

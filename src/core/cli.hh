@@ -15,6 +15,8 @@
  *   --rate R --broadcast-source N --hotspot N --hotspot-frac F
  *   --trace FILE
  *   --sample N --warmup N --max-cycles N --seed N
+ *   --link-ber F --link-outage START:END[:LINK] --fault-seed N
+ *   --retry-limit N --retry-backoff N
  *   --jobs N
  *   --csv
  */

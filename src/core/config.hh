@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "net/fault.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 #include "net/traffic.hh"
@@ -100,6 +101,9 @@ struct NetworkConfig
 /** Workload configuration (re-exported from the net layer). */
 using TrafficConfig = net::TrafficParams;
 
+/** Fault-injection configuration (re-exported from the net layer). */
+using FaultConfig = net::FaultConfig;
+
 /**
  * Check a workload against a network configuration (rates in range,
  * referenced nodes exist, trace supplied when required). Throws
@@ -131,6 +135,26 @@ struct SimConfig
      * final audit still runs at the end of Simulation::run()).
      */
     sim::Cycle auditCycles = 1024;
+    /**
+     * Fault injection (defaults = no faults; the simulation then
+     * takes the exact fault-free fast path, bit-identical to builds
+     * without this subsystem).
+     */
+    FaultConfig fault;
+    /**
+     * Fault-drill hook in the spirit of debugCorruptCredit /
+     * debugDropFlit: a run whose injection rate equals this value
+     * throws core::CheckFailure right after construction, so sweep
+     * failure isolation can be exercised deterministically. Negative
+     * disables.
+     */
+    double debugPoisonRate = -1.0;
+    /**
+     * With debugPoisonRate set: make the poison transient, i.e. only
+     * the first attempt of a sweep point fails, so the point's
+     * bounded retry on a rederived seed succeeds.
+     */
+    bool debugPoisonTransient = false;
 };
 
 } // namespace orion

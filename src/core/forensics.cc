@@ -1,0 +1,106 @@
+#include "core/forensics.hh"
+
+#include <sstream>
+
+namespace orion {
+
+namespace {
+
+const char*
+faultKindName(net::FaultKind kind)
+{
+    switch (kind) {
+      case net::FaultKind::BitError:   return "bit-error";
+      case net::FaultKind::LinkOutage: return "link-outage";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+forensicSnapshot(Simulation& sim, const std::string& reason)
+{
+    net::Network& net = sim.network();
+    const unsigned nodes = net.topology().numNodes();
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"reason\": \"" << report::jsonEscape(reason) << "\",\n";
+    out << "  \"cycle\": " << sim.simulator().now() << ",\n";
+
+    const net::SharedState& shared = net.shared();
+    out << "  \"sample\": {\"injected\": " << shared.sampleInjected
+        << ", \"ejected\": " << shared.sampleEjected
+        << ", \"lost\": " << shared.sampleLost
+        << ", \"remaining\": " << shared.sampleRemaining << "},\n";
+    out << "  \"packets\": {\"injected\": " << net.totalInjected()
+        << ", \"ejected\": " << net.totalEjected()
+        << ", \"lost\": " << net.totalLost()
+        << ", \"in_flight\": " << net.inFlight() << "},\n";
+
+    out << "  \"routers\": [\n";
+    for (unsigned n = 0; n < nodes; ++n) {
+        const router::Router& r = net.router(static_cast<int>(n));
+        std::size_t credits = 0;
+        for (unsigned p = 0; p < r.params().ports; ++p) {
+            const router::CreditCounter* c = r.outputCreditCounter(p);
+            if (c == nullptr || c->unlimited())
+                continue;
+            for (unsigned v = 0; v < c->vcs(); ++v)
+                credits += c->available(v);
+        }
+        out << "    {\"node\": " << n << ", \"resident\": "
+            << r.residentFlits() << ", \"arrived\": "
+            << r.flitsArrived() << ", \"forwarded\": "
+            << r.flitsForwarded() << ", \"discarded\": "
+            << r.flitsDiscarded() << ", \"output_credits\": "
+            << credits << "}" << (n + 1 < nodes ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+
+    out << "  \"endpoints\": [\n";
+    for (unsigned n = 0; n < nodes; ++n) {
+        const net::Node& ep = net.endpoint(static_cast<int>(n));
+        out << "    {\"node\": " << n << ", \"source_queue\": "
+            << ep.sourceQueueLength() << ", \"injected\": "
+            << ep.packetsInjected() << ", \"ejected\": "
+            << ep.packetsEjected() << ", \"lost\": "
+            << ep.packetsLost() << "}"
+            << (n + 1 < nodes ? "," : "") << "\n";
+    }
+    out << "  ]";
+
+    if (const net::FaultInjector* inj = net.faultInjector()) {
+        out << ",\n  \"faults\": {\n";
+        out << "    \"flits_corrupted\": " << inj->flitsCorrupted()
+            << ",\n";
+        out << "    \"flits_outage_dropped\": "
+            << inj->flitsOutageDropped() << ",\n";
+        out << "    \"flits_discarded\": " << inj->flitsDiscarded()
+            << ",\n";
+        out << "    \"packets_retransmitted\": "
+            << inj->packetsRetransmitted() << ",\n";
+        out << "    \"packets_lost\": " << inj->packetsLost() << ",\n";
+        out << "    \"event_count\": " << inj->eventCount() << ",\n";
+        out << "    \"log_hash\": " << inj->faultLogHash() << ",\n";
+        const auto& log = inj->log();
+        constexpr std::size_t kTail = 64;
+        const std::size_t first =
+            log.size() > kTail ? log.size() - kTail : 0;
+        out << "    \"log_tail\": [\n";
+        for (std::size_t i = first; i < log.size(); ++i) {
+            const net::FaultEvent& ev = log[i];
+            out << "      {\"cycle\": " << ev.cycle << ", \"kind\": \""
+                << faultKindName(ev.kind) << "\", \"link\": "
+                << ev.link << ", \"packet\": " << ev.packetId << "}"
+                << (i + 1 < log.size() ? "," : "") << "\n";
+        }
+        out << "    ]\n  }";
+    }
+
+    out << "\n}\n";
+    return out.str();
+}
+
+} // namespace orion

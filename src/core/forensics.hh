@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Forensic snapshots: a JSON dump of network state taken when a run
+ * fails (check failure, watchdog stall), so a failed sweep point can
+ * be diagnosed after the sweep finishes. Format documented in
+ * docs/ROBUSTNESS.md.
+ */
+
+#ifndef ORION_CORE_FORENSICS_HH
+#define ORION_CORE_FORENSICS_HH
+
+#include <string>
+
+#include "core/simulation.hh"
+
+namespace orion {
+
+/**
+ * Serialize the current state of @p sim as a single JSON object:
+ * stop reason, cycle, packet/sample counters, per-router occupancy
+ * and ledgers, per-router output credits, per-endpoint queues, and
+ * the tail of the fault log (when fault injection is active).
+ *
+ * @p reason is a free-form description of why the snapshot was taken
+ * (typically the check-failure diagnostic).
+ */
+std::string forensicSnapshot(Simulation& sim,
+                             const std::string& reason);
+
+} // namespace orion
+
+#endif // ORION_CORE_FORENSICS_HH

@@ -5,7 +5,50 @@
 #include <cstdio>
 #include <sstream>
 
+namespace orion {
+
+const char*
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Completed:     return "completed";
+      case StopReason::MaxCycles:     return "max-cycles";
+      case StopReason::WatchdogStall: return "watchdog-stall";
+      case StopReason::CheckFailure:  return "check-failure";
+    }
+    return "unknown";
+}
+
+} // namespace orion
+
 namespace orion::report {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
 
 void
 Table::addRow(std::vector<std::string> row)

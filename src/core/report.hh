@@ -10,7 +10,35 @@
 #include <string>
 #include <vector>
 
+namespace orion {
+
+/**
+ * Why a simulation run stopped — the failure taxonomy reports, sweeps,
+ * and CLI exit codes are built on (see docs/ROBUSTNESS.md).
+ */
+enum class StopReason
+{
+    /** The measurement sample completed and drained. */
+    Completed,
+    /** The post-warmup cycle cap expired before the sample drained. */
+    MaxCycles,
+    /** The progress watchdog saw no flit motion with packets in
+     * flight (deadlock or hard saturation). */
+    WatchdogStall,
+    /** An ORION_CHECK/ORION_AUDIT invariant fired mid-run. */
+    CheckFailure,
+};
+
+/** Stable lower-case name for @p reason ("completed", "max-cycles",
+ * "watchdog-stall", "check-failure"). */
+const char* stopReasonName(StopReason reason);
+
+} // namespace orion
+
 namespace orion::report {
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& s);
 
 /** A table: a header row plus data rows of equal arity. */
 struct Table

@@ -1,10 +1,20 @@
 #include "core/simulation.hh"
 
 #include <cassert>
+#include <cmath>
 
 #include "core/check.hh"
+#include "sim/rng.hh"
 
 namespace orion {
+
+namespace {
+
+/** deriveSeed salt for the default fault-seed stream, decorrelating
+ * fault schedules from traffic RNG streams of the same base seed. */
+constexpr std::uint64_t kFaultSeedSalt = 0xFA17'5EEDULL;
+
+} // namespace
 
 Simulation::Simulation(const NetworkConfig& network,
                        const TrafficConfig& traffic, const SimConfig& sim)
@@ -12,8 +22,18 @@ Simulation::Simulation(const NetworkConfig& network,
 {
     netCfg_.validate();
     validateTraffic(netCfg_, trafficCfg_);
+    if (simCfg_.fault.enabled()) {
+        simCfg_.fault.validate();
+        const std::uint64_t fault_seed =
+            simCfg_.fault.faultSeed != 0
+                ? simCfg_.fault.faultSeed
+                : sim::deriveSeed(simCfg_.seed, kFaultSeedSalt, 0);
+        faults_ = std::make_unique<net::FaultInjector>(
+            simCfg_.fault, fault_seed, netCfg_.net.flitBits);
+    }
     network_ = std::make_unique<net::Network>(sim_, netCfg_.net,
-                                              trafficCfg_, simCfg_.seed);
+                                              trafficCfg_, simCfg_.seed,
+                                              faults_.get());
     // Every node of a torus has the same outgoing link count; meshes
     // vary per node, so use the maximum (corner effects are small and
     // only matter for constant-power chip-to-chip links).
@@ -48,6 +68,49 @@ Simulation::step(sim::Cycle cycles)
 Report
 Simulation::run()
 {
+    Report r;
+    try {
+        // Fault-drill hook: deliberately fail the point whose rate
+        // matches debugPoisonRate (sweep failure-isolation tests).
+        if (simCfg_.debugPoisonRate >= 0.0 &&
+            std::abs(trafficCfg_.injectionRate -
+                     simCfg_.debugPoisonRate) < 1e-12) {
+            throw core::CheckFailure(
+                "deliberately poisoned sweep point "
+                "(SimConfig::debugPoisonRate)");
+        }
+        runProtocol(r);
+    } catch (const core::CheckFailure& e) {
+        // An invariant fired mid-run (periodic audit, final audit, or
+        // an ORION_CHECK in a module). Degrade gracefully: report the
+        // failure as a structured stop reason and leave this object
+        // intact so callers can take a forensic snapshot.
+        r.stopReason = StopReason::CheckFailure;
+        r.completed = false;
+        r.deadlockSuspected = false;
+        r.checkFailureDiagnostic = e.what();
+        r.totalCycles = sim_.now();
+        fillFaultStats(r);
+    }
+    return r;
+}
+
+void
+Simulation::fillFaultStats(Report& r) const
+{
+    if (!faults_)
+        return;
+    r.flitsCorrupted = faults_->flitsCorrupted();
+    r.flitsOutageDropped = faults_->flitsOutageDropped();
+    r.flitsDiscarded = faults_->flitsDiscarded();
+    r.packetsRetransmitted = faults_->packetsRetransmitted();
+    r.packetsLost = faults_->packetsLost();
+    r.faultLogHash = faults_->faultLogHash();
+}
+
+void
+Simulation::runProtocol(Report& r)
+{
     // Phase 1: warm-up (traffic flows, nothing is measured).
     sim_.run(simCfg_.warmupCycles);
 
@@ -73,7 +136,8 @@ Simulation::run()
 
     const auto done = [&] {
         return shared.sampleRemaining == 0 &&
-               shared.sampleEjected >= shared.sampleInjected &&
+               shared.sampleEjected + shared.sampleLost >=
+                   shared.sampleInjected &&
                shared.sampleInjected >= simCfg_.samplePackets;
     };
 
@@ -106,13 +170,16 @@ Simulation::run()
         sim_.runAudits();
 
     // Phase 4: assemble the report.
-    Report r;
     const sim::Cycle measured = sim_.now() - measure_start;
     r.totalCycles = sim_.now();
     r.measuredCycles = measured;
     r.completed = completed;
     r.deadlockSuspected = deadlocked;
+    r.stopReason = completed     ? StopReason::Completed
+                   : deadlocked ? StopReason::WatchdogStall
+                                : StopReason::MaxCycles;
     r.moduleCount = sim_.moduleCount();
+    fillFaultStats(r);
 
     r.avgLatencyCycles = shared.sampleLatency.mean();
     r.p50LatencyCycles = shared.sampleLatencyHist.quantile(0.50);
@@ -164,8 +231,6 @@ Simulation::run()
         sim_.bus().emittedCount(sim::EventType::PacketInjected);
     r.eventCounts[static_cast<unsigned>(sim::EventType::PacketEjected)] =
         sim_.bus().emittedCount(sim::EventType::PacketEjected);
-
-    return r;
 }
 
 } // namespace orion

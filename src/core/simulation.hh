@@ -19,10 +19,13 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hh"
+#include "core/report.hh"
 #include "net/audit.hh"
+#include "net/fault.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 #include "sim/simulator.hh"
@@ -71,12 +74,29 @@ struct Report
     /// @{
     sim::Cycle totalCycles = 0;
     sim::Cycle measuredCycles = 0;
+    /** Structured stop reason — why this run ended. The two bools
+     * below are kept in sync for backward compatibility. */
+    StopReason stopReason = StopReason::MaxCycles;
+    /** Diagnostic of the invariant that fired when stopReason is
+     * CheckFailure; empty otherwise. */
+    std::string checkFailureDiagnostic;
     /** True if every sample packet arrived before the cycle cap. */
     bool completed = false;
     /** True if the progress watchdog fired (deadlock or total
      * saturation collapse). */
     bool deadlockSuspected = false;
     std::size_t moduleCount = 0;
+    /// @}
+
+    /// @name Fault injection and recovery (all zero without faults)
+    /// @{
+    std::uint64_t flitsCorrupted = 0;
+    std::uint64_t flitsOutageDropped = 0;
+    std::uint64_t flitsDiscarded = 0;
+    std::uint64_t packetsRetransmitted = 0;
+    std::uint64_t packetsLost = 0;
+    /** Deterministic fingerprint of the full fault log. */
+    std::uint64_t faultLogHash = 0;
     /// @}
 
     /// @name Power (measurement window only)
@@ -107,7 +127,16 @@ class Simulation
                const SimConfig& sim);
     ~Simulation();
 
-    /** Execute the full warm-up/sample/drain protocol. */
+    /**
+     * Execute the full warm-up/sample/drain protocol.
+     *
+     * Never throws for in-protocol failures: an ORION_CHECK /
+     * ORION_AUDIT violation is caught and returned as a report with
+     * stopReason == StopReason::CheckFailure and the diagnostic in
+     * checkFailureDiagnostic (the Simulation object stays alive for
+     * forensics — see core/forensics.hh). Configuration errors still
+     * throw from the constructor.
+     */
     Report run();
 
     /** Advance the network @p cycles cycles (for custom protocols). */
@@ -120,14 +149,30 @@ class Simulation
     sim::Simulator& simulator() { return sim_; }
     net::NetworkAuditor& auditor() { return *auditor_; }
     const NetworkConfig& networkConfig() const { return netCfg_; }
+    const SimConfig& simConfig() const { return simCfg_; }
+    /** The fault injector, or nullptr in fault-free runs. */
+    const net::FaultInjector* faultInjector() const
+    {
+        return faults_.get();
+    }
     /// @}
 
   private:
+    /** Phases 1-4 of the measurement protocol; may throw
+     * core::CheckFailure from a periodic or final audit. */
+    void runProtocol(Report& r);
+    /** Copy the injector's counters into @p r (no-op without
+     * faults). */
+    void fillFaultStats(Report& r) const;
+
     NetworkConfig netCfg_;
     TrafficConfig trafficCfg_;
     SimConfig simCfg_;
 
     sim::Simulator sim_;
+    /** Declared before network_: routers/links/nodes hold raw
+     * pointers into the injector, so it must outlive them. */
+    std::unique_ptr<net::FaultInjector> faults_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<net::PowerMonitor> monitor_;
     std::unique_ptr<net::NetworkAuditor> auditor_;

@@ -2,26 +2,78 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 
 #include "core/executor.hh"
+#include "core/forensics.hh"
 #include "sim/rng.hh"
 
 namespace orion {
 
 namespace {
 
-/** Run one (rate index, seed index) cell with its derived RNG stream. */
-Report
+/** Retry attempts rederive the seed in a disjoint seed-index band, so
+ * a retried point cannot collide with any sibling cell's stream. */
+constexpr std::uint64_t kRetrySeedOffset = 1ULL << 32;
+
+/** What one (rate, seed) cell produced. */
+struct CellResult
+{
+    Report report;
+    std::optional<PointFailure> failure;
+    unsigned attempts = 1;
+};
+
+/**
+ * Run one (rate index, seed index) cell with its derived RNG stream,
+ * isolating failures: a check failure gets one bounded retry on a
+ * rederived seed, and any failure (including a throwing constructor)
+ * is captured per-cell instead of propagating into the worker pool —
+ * a worker exception would abort the whole sweep and discard every
+ * completed point.
+ */
+CellResult
 runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
          const SimConfig& sim, double rate, std::size_t rate_index,
          unsigned seed_index)
 {
     TrafficConfig t = traffic;
     t.injectionRate = rate;
-    SimConfig s = sim;
-    s.seed = sim::deriveSeed(sim.seed, rate_index, seed_index);
-    Simulation run(network, t, s);
-    return run.run();
+
+    CellResult res;
+    for (unsigned attempt = 0; attempt < 2; ++attempt) {
+        SimConfig s = sim;
+        const std::uint64_t band =
+            attempt == 0 ? 0 : kRetrySeedOffset;
+        s.seed = sim::deriveSeed(sim.seed, rate_index,
+                                 seed_index + band);
+        // The transient flavor of the poison drill only fails the
+        // first attempt, modelling a seed-dependent transient.
+        if (attempt > 0 && s.debugPoisonTransient)
+            s.debugPoisonRate = -1.0;
+        res.attempts = attempt + 1;
+
+        try {
+            Simulation run(network, t, s);
+            res.report = run.run();
+            if (res.report.stopReason != StopReason::CheckFailure) {
+                res.failure.reset();
+                return res;
+            }
+            res.failure = PointFailure{
+                StopReason::CheckFailure,
+                res.report.checkFailureDiagnostic,
+                forensicSnapshot(run,
+                                 res.report.checkFailureDiagnostic)};
+        } catch (const std::exception& e) {
+            res.report = Report{};
+            res.report.stopReason = StopReason::CheckFailure;
+            res.report.checkFailureDiagnostic = e.what();
+            res.failure = PointFailure{StopReason::CheckFailure,
+                                       e.what(), std::string{}};
+        }
+    }
+    return res;
 }
 
 } // namespace
@@ -34,8 +86,11 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
     std::vector<SweepPoint> points(rates.size());
     core::parallelFor(opts.jobs, rates.size(), [&](std::size_t i) {
         points[i].injectionRate = rates[i];
-        points[i].report =
+        CellResult cell =
             runPoint(network, traffic, sim, rates[i], i, 0);
+        points[i].report = std::move(cell.report);
+        points[i].failure = std::move(cell.failure);
+        points[i].attempts = cell.attempts;
     });
     return points;
 }
@@ -52,7 +107,7 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
     // Fan out over the flattened (rate, seed) grid — finer-grained
     // than per-rate fan-out, so a few rates with many seeds still
     // saturate the pool.
-    std::vector<Report> grid(rates.size() * num_seeds);
+    std::vector<CellResult> grid(rates.size() * num_seeds);
     core::parallelFor(
         opts.jobs, grid.size(), [&](std::size_t cell) {
             const std::size_t i = cell / num_seeds;
@@ -64,6 +119,9 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
     // Deterministic merge: aggregate each rate's seeds in seed order,
     // on the calling thread, so the floating-point accumulation order
     // (hence the bits of every mean) is independent of opts.jobs.
+    // Failed seeds are excluded from the aggregates; dividing by the
+    // success count leaves the fault-free path bit-identical (success
+    // count == num_seeds) while keeping partially failed points usable.
     std::vector<AveragedPoint> points;
     points.reserve(rates.size());
     for (std::size_t i = 0; i < rates.size(); ++i) {
@@ -71,13 +129,22 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
         avg.injectionRate = rates[i];
         avg.seeds = num_seeds;
         avg.allCompleted = true;
+        unsigned ok = 0;
         for (unsigned k = 0; k < num_seeds; ++k) {
-            const Report& r = grid[i * num_seeds + k];
+            const CellResult& cell = grid[i * num_seeds + k];
+            if (cell.failure) {
+                ++avg.failedSeeds;
+                if (avg.firstFailure.empty())
+                    avg.firstFailure = cell.failure->message;
+                avg.allCompleted = false;
+                continue;
+            }
+            const Report& r = cell.report;
             avg.allCompleted = avg.allCompleted && r.completed;
             avg.meanLatency += r.avgLatencyCycles;
             avg.meanPowerWatts += r.networkPowerWatts;
             avg.meanThroughput += r.acceptedFlitsPerNodePerCycle;
-            if (k == 0) {
+            if (ok == 0) {
                 avg.minLatency = r.avgLatencyCycles;
                 avg.maxLatency = r.avgLatencyCycles;
             } else {
@@ -86,10 +153,13 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
                 avg.maxLatency =
                     std::max(avg.maxLatency, r.avgLatencyCycles);
             }
+            ++ok;
         }
-        avg.meanLatency /= num_seeds;
-        avg.meanPowerWatts /= num_seeds;
-        avg.meanThroughput /= num_seeds;
+        if (ok > 0) {
+            avg.meanLatency /= ok;
+            avg.meanPowerWatts /= ok;
+            avg.meanThroughput /= ok;
+        }
         points.push_back(avg);
     }
     return points;

@@ -11,6 +11,8 @@
 #ifndef ORION_CORE_SWEEP_HH
 #define ORION_CORE_SWEEP_HH
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/config.hh"
@@ -18,11 +20,33 @@
 
 namespace orion {
 
+/**
+ * A failed sweep point, isolated from its siblings: the sweep finishes
+ * every other point and records what went wrong here instead of
+ * aborting the fan-out.
+ */
+struct PointFailure
+{
+    /** Why the point failed (CheckFailure for invariant violations
+     * and construction errors). */
+    StopReason reason = StopReason::CheckFailure;
+    /** The diagnostic of the check that fired (or the exception). */
+    std::string message;
+    /** JSON forensic snapshot taken at failure (see
+     * core/forensics.hh); empty if the simulation never got built. */
+    std::string forensicsJson;
+};
+
 /** One point of an injection-rate sweep. */
 struct SweepPoint
 {
     double injectionRate;
     Report report;
+    /** Set when the point failed even after its bounded retry. */
+    std::optional<PointFailure> failure;
+    /** Simulation attempts spent on this point (2 = retried once on a
+     * rederived seed after a transient check failure). */
+    unsigned attempts = 1;
 };
 
 /** Execution options for sweep drivers. */
@@ -52,6 +76,10 @@ struct AveragedPoint
     double maxLatency = 0.0;
     double meanPowerWatts = 0.0;
     double meanThroughput = 0.0;
+    /** Seeds whose runs failed (excluded from the aggregates). */
+    unsigned failedSeeds = 0;
+    /** Diagnostic of the first failed seed, if any. */
+    std::string firstFailure;
 };
 
 /** Injection-rate sweep driver. */
@@ -65,6 +93,13 @@ class Sweep
      * stream is sim::deriveSeed(sim.seed, rate index, 0). With
      * opts.jobs != 1, points run concurrently with bit-identical
      * results to the serial order.
+     *
+     * Failure isolation: a point whose run hits a check failure (or
+     * whose construction throws) never aborts the sweep. The point is
+     * retried once on a rederived seed stream (transient failures
+     * recover); if it fails again, SweepPoint::failure records the
+     * stop reason, diagnostic, and a JSON forensic snapshot, and
+     * every other point still reports normally.
      */
     static std::vector<SweepPoint> overRates(
         const NetworkConfig& network, const TrafficConfig& traffic,

@@ -112,19 +112,24 @@ NetworkAuditor::auditFlitConservation() const
 {
     const unsigned nodes = net_.topology().numNodes();
 
-    // Per-router ledger: everything that ever arrived either left or
-    // is still resident. This localizes a lost flit to one node.
+    // Per-router ledger: everything that ever arrived either left, is
+    // still resident, or was discarded by fault screening. This
+    // localizes a lost flit to one node.
     std::size_t resident_total = 0;
+    std::uint64_t discarded_total = 0;
     for (unsigned n = 0; n < nodes; ++n) {
         const router::Router& r = net_.router(static_cast<int>(n));
         const std::size_t resident = r.residentFlits();
         resident_total += resident;
+        discarded_total += r.flitsDiscarded();
         ORION_CHECK(
-            r.flitsArrived() == r.flitsForwarded() + resident,
+            r.flitsArrived() ==
+                r.flitsForwarded() + resident + r.flitsDiscarded(),
             "flit conservation violated at node "
                 << n << ": arrived " << r.flitsArrived()
                 << " != forwarded " << r.flitsForwarded()
-                << " + resident " << resident);
+                << " + resident " << resident << " + discarded "
+                << r.flitsDiscarded());
 
         // Central-buffer pool bookkeeping: the consumed capacity must
         // equal physically present flits plus cut-through reservations.
@@ -156,11 +161,14 @@ NetworkAuditor::auditFlitConservation() const
     for (const LinkRecord& rec : net_.linkRecords())
         in_flight += flitsOnLink(*rec.data);
 
-    ORION_CHECK(injected == ejected + in_flight + resident_total,
+    ORION_CHECK(injected ==
+                    ejected + in_flight + resident_total +
+                        discarded_total,
                 "network flit conservation violated: injected "
                     << injected << " != ejected " << ejected
                     << " + in-flight " << in_flight << " + resident "
-                    << resident_total);
+                    << resident_total << " + discarded "
+                    << discarded_total);
 }
 
 void
@@ -199,8 +207,14 @@ NetworkAuditor::auditCreditAccounting() const
             const unsigned returning =
                 rec.credit != nullptr ? creditsOnVc(*rec.credit, vc)
                                       : 0;
+            // Fault discards can free two slots on one port in one
+            // cycle; the receiver holds the overflow credit until the
+            // 1-credit/cycle return wire is free.
+            const std::size_t pending =
+                target.pendingCreditReturns(rec.toPort, vc);
             ORION_CHECK(
-                credits + latched + on_data + occupancy + returning ==
+                credits + latched + on_data + occupancy + returning +
+                        pending ==
                     counter->depth(vc),
                 "credit accounting violated on "
                     << linkKindName(rec.kind) << " link node "
@@ -211,6 +225,7 @@ NetworkAuditor::auditCreditAccounting() const
                     << " + link flits " << on_data
                     << " + downstream occupancy " << occupancy
                     << " + returning credits " << returning
+                    << " + pending returns " << pending
                     << " != depth " << counter->depth(vc));
         }
     }

@@ -25,20 +25,26 @@ makeRouterParams(const NetworkParams& p, const Topology& topo)
 } // namespace
 
 Network::Network(sim::Simulator& simulator, const NetworkParams& params,
-                 const TrafficParams& traffic, std::uint64_t seed)
+                 const TrafficParams& traffic, std::uint64_t seed,
+                 FaultInjector* faults)
     : params_(params),
       topo_(params.dims, params.wrap),
       routing_(topo_,
                params.dimOrder.empty() ? DorRouting::defaultOrder(topo_)
                                        : params.dimOrder,
                params.deadlock, params.tieBreak),
-      traffic_(topo_, traffic)
+      traffic_(topo_, traffic),
+      faults_(faults)
 {
     assert(params.routerKind == RouterKind::VirtualChannel ||
            params.vcs == 1);
 
     buildRouters(simulator, seed);
     wire(simulator);
+    if (faults_) {
+        faults_->finalizeTopology(static_cast<int>(topo_.numNodes()),
+                                  topo_.portsPerRouter());
+    }
 }
 
 void
@@ -74,6 +80,10 @@ Network::buildRouters(sim::Simulator& simulator, std::uint64_t seed)
             params_.bufferDepth, seed, simulator.bus(),
             params_.injection));
 
+        if (faults_) {
+            routers_.back()->setFaultHooks(faults_);
+            nodes_.back()->setFaultInjector(faults_);
+        }
         simulator.add(routers_.back().get());
         simulator.add(nodes_.back().get());
     }
@@ -104,6 +114,9 @@ Network::wire(sim::Simulator& simulator)
                                        params_.vcs, params_.bufferDepth,
                                        /*unlimited=*/false);
             routers_[j]->connectInput(q, data.get(), credit.get());
+            if (faults_)
+                data->attachFaultHooks(faults_,
+                                       faults_->registerLink());
 
             simulator.addChannel(data.get());
             simulator.addChannel(credit.get());
@@ -187,9 +200,21 @@ Network::totalFlitsEjected() const
 }
 
 std::uint64_t
+Network::totalLost() const
+{
+    std::uint64_t t = 0;
+    for (const auto& n : nodes_)
+        t += n->packetsLost();
+    return t;
+}
+
+std::uint64_t
 Network::inFlight() const
 {
-    return totalInjected() - totalEjected();
+    // Lost packets (retry limit exhausted) are closed, not in flight:
+    // counting them would wedge the drain loop and false-fire the
+    // watchdog.
+    return totalInjected() - totalEjected() - totalLost();
 }
 
 void

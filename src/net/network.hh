@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.hh"
 #include "net/node.hh"
 #include "net/routing.hh"
 #include "net/topology.hh"
@@ -97,10 +98,15 @@ class Network
   public:
     /**
      * Build the network and register all modules and channels with
-     * @p simulator.
+     * @p simulator. When @p faults is non-null, fault hooks are
+     * attached to every router, node, and inter-router link (links
+     * register with the injector in wiring order, which is the
+     * deterministic link-id contract), and the injector's schedules
+     * are validated against the built topology.
      */
     Network(sim::Simulator& simulator, const NetworkParams& params,
-            const TrafficParams& traffic, std::uint64_t seed);
+            const TrafficParams& traffic, std::uint64_t seed,
+            FaultInjector* faults = nullptr);
 
     const Topology& topology() const { return topo_; }
     const NetworkParams& params() const { return params_; }
@@ -126,12 +132,17 @@ class Network
         return linkRecords_;
     }
 
+    /** The attached fault injector, or nullptr in fault-free runs. */
+    const FaultInjector* faultInjector() const { return faults_; }
+
     /// @name Aggregate statistics
     /// @{
     std::uint64_t totalInjected() const;
     std::uint64_t totalEjected() const;
     std::uint64_t totalFlitsEjected() const;
-    /** Packets created but not yet fully ejected. */
+    /** Packets abandoned after exhausting the retry limit. */
+    std::uint64_t totalLost() const;
+    /** Packets created but neither fully ejected nor abandoned. */
     std::uint64_t inFlight() const;
     void resetFlitCounts();
     /// @}
@@ -145,6 +156,7 @@ class Network
     DorRouting routing_;
     TrafficGenerator traffic_;
     SharedState shared_;
+    FaultInjector* faults_ = nullptr;
 
     std::vector<std::unique_ptr<router::Router>> routers_;
     std::vector<std::unique_ptr<Node>> nodes_;

@@ -41,6 +41,12 @@ Node::connectEjection(router::FlitLink* from_router)
     fromRouter_ = from_router;
 }
 
+void
+Node::setFaultInjector(FaultInjector* injector)
+{
+    injector_ = injector;
+}
+
 power::BitVec
 Node::randomPayload()
 {
@@ -60,6 +66,7 @@ Node::cycle(sim::Cycle now)
     }
 
     ejectStage(now);
+    retransmitStage(now);
     generateStage(now);
     injectStage(now);
 }
@@ -73,6 +80,11 @@ Node::ejectStage(sim::Cycle now)
     assert(flit.packet->dst == node() && "flit ejected at wrong node");
     ++flitsEjected_;
     ++flitsEjectedTotal_;
+    // A poison tail closes a killed worm; the packet attempt it ends
+    // never completes (the source retransmits), so it must not count
+    // as a packet ejection or a latency sample.
+    if (flit.poison)
+        return;
     if (!flit.tail)
         return;
 
@@ -87,6 +99,56 @@ Node::ejectStage(sim::Cycle now)
     bus_.emit({sim::EventType::PacketEjected, node(), 0,
                static_cast<std::uint32_t>(latency),
                flit.packet->sample ? 1u : 0u, now});
+}
+
+void
+Node::retransmitStage(sim::Cycle now)
+{
+    if (!injector_)
+        return;
+
+    for (const Nack& nack : injector_->takeNacks(node())) {
+        const auto& pkt = nack.packet;
+        // attempts_[] lookup default-constructs to 0 for first-time
+        // ids, matching PacketInfo::attempt of original sends.
+        unsigned& current = attempts_[pkt->id];
+        if (pkt->attempt != current)
+            continue; // stale duplicate for a superseded attempt
+
+        const FaultConfig& cfg = injector_->config();
+        const unsigned next = current + 1;
+        ++current; // later NACKs for the killed attempt are now stale
+        if (next > cfg.retryLimit) {
+            ++packetsLost_;
+            if (pkt->sample)
+                ++shared_.sampleLost;
+            injector_->recordPacketLost();
+            continue;
+        }
+
+        // Retransmit the same logical packet (same id, createdAt,
+        // sample flag, route — recovery time counts toward latency)
+        // as a fresh worm with a bumped attempt number, after a
+        // backoff that doubles per attempt.
+        auto clone = std::make_shared<router::PacketInfo>(*pkt);
+        clone->attempt = next;
+        const sim::Cycle delay = cfg.retryBackoffCycles
+                                 << (next - 1);
+        retryQueue_.emplace_back(now + delay, std::move(clone));
+        injector_->recordRetransmission();
+    }
+
+    // Release retries whose backoff expired, preserving scheduling
+    // order. push_back (never push_front): the source queue's head
+    // may be mid-injection (injectSeq_ > 0) and must not be displaced.
+    for (auto it = retryQueue_.begin(); it != retryQueue_.end();) {
+        if (it->first <= now) {
+            sourceQueue_.push_back(std::move(it->second));
+            it = retryQueue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void
@@ -162,6 +224,11 @@ Node::injectStage(sim::Cycle now)
     flit.hop = 0;
     flit.vc = static_cast<std::uint8_t>(injectVc_);
     flit.payload = randomPayload();
+    // Stamp the end-to-end CRC once at the source: the payload is
+    // immutable along a fault-free path, so any mismatch downstream
+    // is link corruption.
+    if (injector_)
+        flit.linkCrc = router::payloadChecksum(flit.payload);
 
     injectionCredits_->consume(injectVc_);
     toRouter_->send(std::move(flit), bus_, now);

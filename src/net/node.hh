@@ -17,7 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
+#include "net/fault.hh"
 #include "net/routing.hh"
 #include "net/topology.hh"
 #include "net/traffic.hh"
@@ -42,6 +45,9 @@ struct SharedState
     std::uint64_t sampleRemaining = 0;
     std::uint64_t sampleInjected = 0;
     std::uint64_t sampleEjected = 0;
+    /** Sample packets abandoned after exhausting the retry limit
+     * (fault injection only) — counts toward drain completion. */
+    std::uint64_t sampleLost = 0;
     std::uint64_t nextPacketId = 0;
     /** Latencies of ejected sample packets (cycles). */
     sim::Accumulator sampleLatency;
@@ -90,12 +96,21 @@ class Node : public sim::Module
     /** Attach the ejection link from the router's local output port. */
     void connectEjection(router::FlitLink* from_router);
 
+    /**
+     * Enable fault recovery: stamp link CRCs on injected flits, drain
+     * this node's NACKs from @p injector, and retransmit killed
+     * packets with doubling backoff up to the configured retry limit.
+     */
+    void setFaultInjector(FaultInjector* injector);
+
     void cycle(sim::Cycle now) override;
 
     /// @name Statistics
     /// @{
     std::uint64_t packetsInjected() const { return packetsInjected_; }
     std::uint64_t packetsEjected() const { return packetsEjected_; }
+    /** Packets abandoned after exhausting the retry limit. */
+    std::uint64_t packetsLost() const { return packetsLost_; }
     std::uint64_t flitsEjected() const { return flitsEjected_; }
     std::size_t sourceQueueLength() const { return sourceQueue_.size(); }
     /** Zero the flit-ejection counter (start of measurement window). */
@@ -120,6 +135,7 @@ class Node : public sim::Module
 
   private:
     void ejectStage(sim::Cycle now);
+    void retransmitStage(sim::Cycle now);
     void generateStage(sim::Cycle now);
     void injectStage(sim::Cycle now);
 
@@ -151,9 +167,23 @@ class Node : public sim::Module
 
     std::uint64_t packetsInjected_ = 0;
     std::uint64_t packetsEjected_ = 0;
+    std::uint64_t packetsLost_ = 0;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t flitsInjectedTotal_ = 0;
     std::uint64_t flitsEjectedTotal_ = 0;
+
+    /// @name Fault recovery (inert while injector_ is null)
+    /// @{
+    FaultInjector* injector_ = nullptr;
+    /** Current attempt number per NACKed packet id — NACKs for any
+     * other attempt are stale duplicates and ignored. */
+    std::unordered_map<std::uint64_t, unsigned> attempts_;
+    /** Retransmissions waiting out their backoff: (due cycle, clone
+     * with bumped attempt), in scheduling order. */
+    std::deque<std::pair<sim::Cycle,
+                         std::shared_ptr<const router::PacketInfo>>>
+        retryQueue_;
+    /// @}
 };
 
 } // namespace orion::net

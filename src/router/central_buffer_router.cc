@@ -94,6 +94,7 @@ void
 CentralBufferRouter::cycle(sim::Cycle now)
 {
     receiveCredits();
+    drainPendingCredits(now);
     readStage(now);
     writeStage(now);
     bwStage(now);
@@ -110,6 +111,8 @@ CentralBufferRouter::readStage(sim::Cycle now)
         bool any = false;
         for (unsigned o = 0; o < ports; ++o) {
             if (used[o] || outputQueues_[o].empty())
+                continue;
+            if (faultHooks_ && faultHooks_->portStalled(node(), o, now))
                 continue;
             const CbPacket& pkt = *outputQueues_[o].front();
             if (pkt.flits.empty())
@@ -203,9 +206,7 @@ CentralBufferRouter::writeStage(sim::Cycle now)
                    res.deltaPri, now});
 
         Flit flit = inputFifos_[p].read(now);
-        if (creditReturnLinks_[p]) {
-            creditReturnLinks_[p]->send(Credit{0}, bus_, now);
-        }
+        sendCreditUpstream(p, 0, now);
 
         if (flit.head) {
             const unsigned o = flit.routeHop().port;
@@ -235,6 +236,13 @@ CentralBufferRouter::writeStage(sim::Cycle now)
         pkt->flits.emplace_back(std::move(flit),
                                 now + cb_.pipelineLatency);
         if (was_tail) {
+            // A poison tail can truncate a worm short of its admitted
+            // length: release the pool slots the missing flits
+            // reserved, or they leak for the rest of the run.
+            if (pkt->written < pkt->length) {
+                freeSlots_ += pkt->length - pkt->written;
+                pkt->length = pkt->written;
+            }
             pkt->complete = true;
             currentWrite_[p] = nullptr;
         }
@@ -249,6 +257,10 @@ CentralBufferRouter::bwStage(sim::Cycle now)
         if (!in || !in->valid())
             continue;
         Flit flit = in->read();
+        if (faultHooks_ &&
+            screenArrival(p, flit, now) == ArrivalAction::Discard) {
+            continue;
+        }
         assert(!inputFifos_[p].full() &&
                "credit discipline violated: buffer overflow");
         inputFifos_[p].write(std::move(flit), now);

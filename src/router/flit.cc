@@ -1,4 +1,21 @@
 #include "router/flit.hh"
 
-// Flit and PacketInfo are plain data; this translation unit exists to
-// anchor the header in the build.
+namespace orion::router {
+
+std::uint32_t
+payloadChecksum(const power::BitVec& payload)
+{
+    // splitmix64-style finalization folded over the storage words.
+    // Seeding with the width keeps equal-valued vectors of different
+    // widths distinct; the multiply-mix guarantees any single-bit
+    // difference in any word perturbs the final value.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ payload.width();
+    for (std::size_t i = 0; i < payload.wordCount(); ++i) {
+        h ^= payload.word(i);
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    }
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+} // namespace orion::router

@@ -57,6 +57,12 @@ struct PacketInfo
     unsigned length;
     /** Whether this packet belongs to the measurement sample. */
     bool sample;
+    /**
+     * Retransmission attempt number (0 = original send). Sources
+     * deduplicate NACKs by (id, attempt) so several faults hitting the
+     * same attempt trigger exactly one retransmission.
+     */
+    unsigned attempt = 0;
     /** The full source route, one hop per router on the path. */
     std::vector<RouteHop> route;
 };
@@ -81,6 +87,20 @@ struct Flit
     std::uint8_t vc = 0;
     /** Payload bits (drives switching-activity accounting). */
     power::BitVec payload;
+    /**
+     * End-to-end payload checksum, stamped once at the source when
+     * fault injection is active (payload is immutable along the path);
+     * checked at every router input to detect link corruption. Zero
+     * and unchecked in fault-free runs.
+     */
+    std::uint32_t linkCrc = 0;
+    /**
+     * True for a receiver-synthesized tail that replaces a corrupted
+     * body/tail flit: it closes the worm's VC/buffer state at every
+     * downstream hop, is never faulted again, and is discarded at the
+     * destination without completing the packet.
+     */
+    bool poison = false;
 
     /** The routing decision to apply at the current router. */
     const RouteHop&
@@ -96,6 +116,13 @@ struct Flit
         return hop + 1 == packet->route.size();
     }
 };
+
+/**
+ * Checksum over payload bits used as the per-flit link CRC. Mixes each
+ * word through a 64-bit finalizer so any single-bit flip (the fault
+ * injector's corruption unit) changes the result.
+ */
+std::uint32_t payloadChecksum(const power::BitVec& payload);
 
 } // namespace orion::router
 

@@ -14,6 +14,11 @@ FlitLink::FlitLink(int node, int component, unsigned flit_bits,
 void
 FlitLink::send(Flit flit, sim::EventBus& bus, sim::Cycle now)
 {
+    // Poison tails are exempt from faulting: corrupting one would
+    // reopen a worm the receiver already closed, breaking forward
+    // progress under sustained error rates.
+    if (faultHooks_ && !flit.poison)
+        faultHooks_->onLinkTraversal(faultLinkId_, flit, now);
     if (emitsTraversal_) {
         const unsigned delta =
             power::hammingDistance(flit.payload, lastPayload_);

@@ -17,6 +17,7 @@
 
 #include "power/activity.hh"
 #include "router/credit.hh"
+#include "router/fault_hooks.hh"
 #include "router/flit.hh"
 #include "sim/event.hh"
 #include "sim/module.hh"
@@ -45,11 +46,25 @@ class FlitLink : public sim::RegisteredChannel<Flit>
 
     bool emitsTraversal() const { return emitsTraversal_; }
 
+    /**
+     * Attach fault hooks: every non-poison flit sent is offered to
+     * @p hooks under registered link id @p link_id before the wire
+     * toggles are computed, so corrupted bits cost real link energy.
+     */
+    void
+    attachFaultHooks(FaultHooks* hooks, unsigned link_id)
+    {
+        faultHooks_ = hooks;
+        faultLinkId_ = link_id;
+    }
+
   private:
     int node_;
     int component_;
     bool emitsTraversal_;
     power::BitVec lastPayload_;
+    FaultHooks* faultHooks_ = nullptr;
+    unsigned faultLinkId_ = 0;
 };
 
 /** A unidirectional credit channel. */

@@ -73,6 +73,122 @@ Router::debugCorruptCredit(unsigned port, unsigned vc)
 }
 
 void
+Router::setFaultHooks(FaultHooks* hooks)
+{
+    faultHooks_ = hooks;
+    if (faultHooks_ && dropState_.empty()) {
+        dropState_.assign(params_.ports,
+                          std::vector<DropState>(params_.vcs));
+        pendingCredits_.assign(params_.ports, {});
+    }
+}
+
+std::size_t
+Router::pendingCreditReturns(unsigned port, unsigned vc) const
+{
+    if (!faultHooks_)
+        return 0;
+    std::size_t n = 0;
+    for (const Credit& c : pendingCredits_[port])
+        if (c.vc == vc)
+            ++n;
+    return n;
+}
+
+void
+Router::sendCreditUpstream(unsigned port, unsigned vc, sim::Cycle now)
+{
+    auto* ch = creditReturnLinks_[port];
+    if (!ch)
+        return;
+    const Credit credit{static_cast<std::uint8_t>(vc)};
+    // The credit wire carries one credit per cycle. Fault-free
+    // operation frees at most one slot per port per cycle, but a fault
+    // discard can coincide with a regular dequeue on the same port;
+    // queue the overflow and keep per-port FIFO order.
+    if (faultHooks_ &&
+        (!pendingCredits_[port].empty() || ch->staged())) {
+        pendingCredits_[port].push_back(credit);
+        return;
+    }
+    ch->send(credit, bus_, now);
+}
+
+void
+Router::drainPendingCredits(sim::Cycle now)
+{
+    if (!faultHooks_)
+        return;
+    for (unsigned p = 0; p < params_.ports; ++p) {
+        auto& q = pendingCredits_[p];
+        if (q.empty())
+            continue;
+        auto* ch = creditReturnLinks_[p];
+        if (!ch || ch->staged())
+            continue;
+        ch->send(q.front(), bus_, now);
+        q.pop_front();
+    }
+}
+
+void
+Router::discardArrival(unsigned port, const Flit& flit, sim::Cycle now)
+{
+    // The flit did arrive (link energy was spent) but is dropped
+    // before buffering: ledger it so conservation still proves out,
+    // and return the buffer slot the upstream consumed for it.
+    ++flitsArrived_;
+    ++flitsDiscarded_;
+    sendCreditUpstream(port, flit.vc, now);
+    faultHooks_->onFlitDiscarded(flit, now);
+}
+
+Router::ArrivalAction
+Router::screenArrival(unsigned port, Flit& flit, sim::Cycle now)
+{
+    DropState& drop = dropState_[port][flit.vc];
+    // 1. Remainder of a killed worm attempt: discard until its tail
+    //    (or its upstream-synthesized poison tail) closes the state.
+    //    Packets are contiguous per (port, VC) and flit metadata is
+    //    never corrupted, so matching (id, attempt) is exact.
+    if (drop.active && drop.packetId == flit.packet->id &&
+        drop.attempt == flit.packet->attempt) {
+        if (flit.tail)
+            drop.active = false;
+        discardArrival(port, flit, now);
+        return ArrivalAction::Discard;
+    }
+    // 2. Poison tails carry a stale CRC by construction and must
+    //    propagate to close downstream worm state: deliver unchecked.
+    if (flit.poison)
+        return ArrivalAction::Deliver;
+    // 3. CRC check (stamped once at the source; payload is immutable
+    //    along a fault-free path).
+    if (flit.linkCrc != payloadChecksum(flit.payload)) {
+        faultHooks_->onPacketKilled(flit.packet, now);
+        if (!flit.tail) {
+            drop.active = true;
+            drop.packetId = flit.packet->id;
+            drop.attempt = flit.packet->attempt;
+        }
+        if (flit.head) {
+            // Nothing of the worm is buffered downstream of here yet:
+            // drop the head outright and swallow the rest as they
+            // arrive.
+            discardArrival(port, flit, now);
+            return ArrivalAction::Discard;
+        }
+        // Body/tail corrupted mid-worm: convert it into a poison tail
+        // (1-for-1 slot replacement) so every downstream hop's VC and
+        // buffer state for this worm closes normally.
+        flit.poison = true;
+        flit.tail = true;
+        return ArrivalAction::Deliver;
+    }
+    return ArrivalAction::Deliver;
+}
+
+void
 Router::receiveCredits()
 {
     for (unsigned p = 0; p < params_.ports; ++p) {

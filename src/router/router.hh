@@ -13,11 +13,13 @@
 #define ORION_ROUTER_ROUTER_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "router/arbiter.hh"
 #include "router/credit.hh"
+#include "router/fault_hooks.hh"
 #include "router/link.hh"
 #include "sim/event.hh"
 #include "sim/module.hh"
@@ -152,9 +154,57 @@ class Router : public sim::Module
     std::uint64_t flitsArrived() const { return flitsArrived_; }
     /** Flits that ever left this router (lifetime ledger). */
     std::uint64_t flitsForwarded() const { return flitsForwarded_; }
+    /** Arrived flits discarded by fault screening (lifetime ledger):
+     * flitsArrived_ == flitsForwarded_ + residentFlits() +
+     * flitsDiscarded_ always. */
+    std::uint64_t flitsDiscarded() const { return flitsDiscarded_; }
+
+    /**
+     * Credits owed upstream on input @p port for downstream VC @p vc
+     * but not yet placed on the credit-return wire (the wire carries
+     * one credit per cycle; fault discards can free two slots for one
+     * port in a cycle). Part of the credit-audit equation.
+     */
+    std::size_t pendingCreditReturns(unsigned port, unsigned vc) const;
     /// @}
 
+    /**
+     * Attach fault hooks. Must be called before the first cycle; a
+     * null-hooks router runs the exact fault-free fast path.
+     */
+    void setFaultHooks(FaultHooks* hooks);
+
   protected:
+    /** What to do with a flit read off an input link. */
+    enum class ArrivalAction
+    {
+        Deliver,
+        Discard,
+    };
+
+    /**
+     * Fault screening for a flit arriving on input @p port, called
+     * only when fault hooks are attached. Applies, in order: the
+     * drop-until-tail state for a killed worm, poison immunity, and
+     * the CRC check. May discard the flit (credit still returned
+     * upstream, ledgered in flitsDiscarded_) or rewrite it into a
+     * poison tail; returns what the caller should do with it.
+     */
+    ArrivalAction screenArrival(unsigned port, Flit& flit,
+                                sim::Cycle now);
+
+    /**
+     * Return one credit upstream on input @p port for VC @p vc,
+     * deferring through pendingCredits_ when the wire is already
+     * carrying a credit this cycle. All credit returns go through
+     * here so deferred and fresh credits stay FIFO per port.
+     */
+    void sendCreditUpstream(unsigned port, unsigned vc, sim::Cycle now);
+
+    /** Put deferred credit returns on idle credit wires (one per port
+     * per cycle). Call at the top of cycle(); no-op without faults. */
+    void drainPendingCredits(sim::Cycle now);
+
     /** Drain credit-in channels and restore output credit counters. */
     void receiveCredits();
 
@@ -180,9 +230,34 @@ class Router : public sim::Module
     std::vector<std::unique_ptr<CreditCounter>> outputCredits_;
 
     /** Lifetime arrival/departure ledgers (conservation audit):
-     * flitsArrived_ == flitsForwarded_ + residentFlits() always. */
+     * flitsArrived_ == flitsForwarded_ + residentFlits() +
+     * flitsDiscarded_ always. */
     std::uint64_t flitsArrived_ = 0;
     std::uint64_t flitsForwarded_ = 0;
+    std::uint64_t flitsDiscarded_ = 0;
+
+    FaultHooks* faultHooks_ = nullptr;
+
+  private:
+    /** Drop-until-tail state per (input port, VC): set when a worm's
+     * head (or an upstream poison substitute) is killed so the rest of
+     * that attempt's flits are discarded on arrival. */
+    struct DropState
+    {
+        bool active = false;
+        std::uint64_t packetId = 0;
+        unsigned attempt = 0;
+    };
+
+    /** Ledger + credit return + hook notification for one discarded
+     * arrival. */
+    void discardArrival(unsigned port, const Flit& flit,
+                        sim::Cycle now);
+
+    std::vector<std::vector<DropState>> dropState_;
+    /** Credits owed upstream but not yet on the wire, per input port
+     * (FIFO; drained one per port per cycle). */
+    std::vector<std::deque<Credit>> pendingCredits_;
 };
 
 } // namespace orion::router

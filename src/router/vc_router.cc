@@ -121,6 +121,7 @@ void
 CrossbarRouter::cycle(sim::Cycle now)
 {
     receiveCredits();
+    drainPendingCredits(now);
     stStage(now);
     if (vaEnabled_ && params_.speculative) {
         // Speculative pipeline: VA runs before SA within the cycle,
@@ -141,6 +142,10 @@ CrossbarRouter::stStage(sim::Cycle now)
 {
     for (unsigned o = 0; o < params_.ports; ++o) {
         if (!stLatch_[o])
+            continue;
+        // Scheduled port-stall fault: the flit stays latched (and SA
+        // will not refill the occupied latch) until the stall lifts.
+        if (faultHooks_ && faultHooks_->portStalled(node(), o, now))
             continue;
         StEntry entry = std::move(*stLatch_[o]);
         stLatch_[o].reset();
@@ -218,6 +223,10 @@ CrossbarRouter::saStage(sim::Cycle now)
         cand[p] = pickCandidate(p);
 
     for (unsigned o = 0; o < ports; ++o) {
+        // A port-stall fault leaves the ST latch occupied; don't
+        // arbitrate for an output that can't accept a new flit.
+        if (stLatch_[o])
+            continue;
         auto& reqs = saReqs_;
         std::fill(reqs.begin(), reqs.end(), false);
         bool any = false;
@@ -258,10 +267,7 @@ CrossbarRouter::saStage(sim::Cycle now)
         --portFlits_[p];
         --totalFlits_;
         outputCredits_[o]->consume(c.outVc);
-        if (creditReturnLinks_[p]) {
-            creditReturnLinks_[p]->send(
-                Credit{static_cast<std::uint8_t>(c.vc)}, bus_, now);
-        }
+        sendCreditUpstream(p, c.vc, now);
 
         flit.vc = static_cast<std::uint8_t>(c.outVc);
         if (flit.hop + 1 < flit.packet->route.size())
@@ -417,6 +423,10 @@ CrossbarRouter::bwStage(sim::Cycle now)
         if (!in || !in->valid())
             continue;
         Flit flit = in->read();
+        if (faultHooks_ &&
+            screenArrival(p, flit, now) == ArrivalAction::Discard) {
+            continue;
+        }
         assert(flit.vc < params_.vcs);
         assert(!fifos_[p][flit.vc].full() &&
                "credit discipline violated: buffer overflow");

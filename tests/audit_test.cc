@@ -220,6 +220,29 @@ TEST_F(AuditTest, EnergyBaselineSurvivesMonitorReset)
     EXPECT_NO_THROW(s.auditor().auditEnergyAccounting());
 }
 
+TEST_F(AuditTest, LedgersBalanceUnderInjectedFaults)
+{
+    // With fault injection discarding flits mid-network, the
+    // conservation ledgers must still balance at every paranoid audit:
+    // discards are a named column, not a leak, and the resynchronized
+    // credits must keep the credit equation exact.
+    SimConfig s = shortRun();
+    s.fault.linkBitErrorRate = 5e-6;
+    s.fault.outages.push_back({.start = 400, .end = 600, .link = -1});
+    Simulation sim(NetworkConfig::vc16(), uniformTraffic(0.05), s);
+    const Report r = sim.run();
+    ASSERT_TRUE(r.completed) << r.checkFailureDiagnostic;
+    EXPECT_GT(r.flitsDiscarded, 0u);
+
+    std::uint64_t discarded = 0;
+    const unsigned nodes = sim.network().topology().numNodes();
+    for (unsigned n = 0; n < nodes; ++n)
+        discarded +=
+            sim.network().router(static_cast<int>(n)).flitsDiscarded();
+    EXPECT_EQ(discarded, r.flitsDiscarded);
+    EXPECT_NO_THROW(sim.auditor().auditAll());
+}
+
 TEST_F(AuditTest, AuditsAreNotRegisteredWhenChecksOff)
 {
     core::setCheckLevel(CheckLevel::Off);

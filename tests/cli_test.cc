@@ -147,6 +147,63 @@ TEST(CliParse, ArbiterInjectionTieBreakOptions)
     EXPECT_THROW(parse({"--tie-break", "x"}), std::invalid_argument);
 }
 
+TEST(CliParse, FaultInjectionFlags)
+{
+    const Options o = parse({"--link-ber", "1e-6", "--link-outage",
+                             "1000:2000:3", "--link-outage", "500:600",
+                             "--fault-seed", "99", "--retry-limit",
+                             "4", "--retry-backoff", "16"});
+    EXPECT_DOUBLE_EQ(o.sim.fault.linkBitErrorRate, 1e-6);
+    ASSERT_EQ(o.sim.fault.outages.size(), 2u);
+    EXPECT_EQ(o.sim.fault.outages[0].start, 1000u);
+    EXPECT_EQ(o.sim.fault.outages[0].end, 2000u);
+    EXPECT_EQ(o.sim.fault.outages[0].link, 3);
+    EXPECT_EQ(o.sim.fault.outages[1].link, -1); // injector picks
+    EXPECT_EQ(o.sim.fault.faultSeed, 99u);
+    EXPECT_EQ(o.sim.fault.retryLimit, 4u);
+    EXPECT_EQ(o.sim.fault.retryBackoffCycles, 16u);
+    EXPECT_TRUE(o.sim.fault.enabled());
+    EXPECT_FALSE(parse({}).sim.fault.enabled());
+}
+
+TEST(CliParse, FaultFlagsRejectInvalidValues)
+{
+    EXPECT_THROW(parse({"--link-ber", "1.5"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--link-ber", "-0.1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--link-outage", "2000:1000"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--link-outage", "junk"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--retry-limit", "50"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--retry-backoff", "0"}),
+                 std::invalid_argument);
+}
+
+TEST(CliReport, FaultStatsAppearWhenFaultsInjected)
+{
+    Options o = parse({"--sample", "400", "--rate", "0.05",
+                       "--link-ber", "5e-6"});
+    o.sim.maxCycles = 100000;
+    Simulation s(o.network, o.traffic, o.sim);
+    const Report r = s.run();
+    ASSERT_TRUE(r.completed);
+    const std::string text = formatReport(o, r);
+    EXPECT_NE(text.find("faults"), std::string::npos);
+    EXPECT_NE(text.find("retransmitted"), std::string::npos);
+
+    const std::string csv = formatCsvReport(o, r);
+    EXPECT_NE(csv.find("stop_reason"), std::string::npos);
+    EXPECT_NE(csv.find("completed"), std::string::npos);
+
+    // Fault lines stay out of clean-run reports.
+    Options clean = parse({"--sample", "400", "--rate", "0.05"});
+    clean.sim.maxCycles = 100000;
+    Simulation cs(clean.network, clean.traffic, clean.sim);
+    const std::string ctext = formatReport(clean, cs.run());
+    EXPECT_EQ(ctext.find("retransmitted"), std::string::npos);
+}
+
 TEST(CliParse, SpeculativeFlag)
 {
     EXPECT_FALSE(parse({}).network.net.speculative);

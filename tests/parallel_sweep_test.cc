@@ -167,6 +167,76 @@ TEST(ParallelSweep, OverRatesBitIdenticalAcrossJobCounts)
     }
 }
 
+// --- failure isolation ------------------------------------------------
+
+TEST(ParallelSweep, PoisonedPointIsIsolatedFromSiblings)
+{
+    // One deliberately failing point must not take the sweep (or the
+    // worker pool) down with it: siblings complete normally and the
+    // failed point carries its own diagnosis.
+    SimConfig s;
+    s.samplePackets = 200;
+    s.maxCycles = 60000;
+    s.debugPoisonRate = 0.04;
+    TrafficConfig t;
+    const auto points = Sweep::overRates(NetworkConfig::vc16(), t, s,
+                                         {0.02, 0.04, 0.06},
+                                         {.jobs = 3});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_TRUE(points[0].report.completed);
+    EXPECT_FALSE(points[0].failure.has_value());
+    EXPECT_TRUE(points[2].report.completed);
+    EXPECT_FALSE(points[2].failure.has_value());
+
+    ASSERT_TRUE(points[1].failure.has_value());
+    EXPECT_EQ(points[1].failure->reason, StopReason::CheckFailure);
+    EXPECT_NE(points[1].failure->message.find("poisoned"),
+              std::string::npos)
+        << points[1].failure->message;
+    // A forensic snapshot was captured while the failed simulation
+    // was still alive.
+    EXPECT_NE(points[1].failure->forensicsJson.find("\"reason\""),
+              std::string::npos);
+    // The retry on a rederived seed was spent before giving up.
+    EXPECT_EQ(points[1].attempts, 2u);
+    EXPECT_EQ(points[1].report.stopReason, StopReason::CheckFailure);
+}
+
+TEST(ParallelSweep, TransientFailureRecoversViaRetry)
+{
+    SimConfig s;
+    s.samplePackets = 200;
+    s.maxCycles = 60000;
+    s.debugPoisonRate = 0.04;
+    s.debugPoisonTransient = true; // fails attempt 0, clean on retry
+    TrafficConfig t;
+    const auto points =
+        Sweep::overRates(NetworkConfig::vc16(), t, s, {0.04});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_FALSE(points[0].failure.has_value());
+    EXPECT_TRUE(points[0].report.completed);
+    EXPECT_EQ(points[0].attempts, 2u);
+}
+
+TEST(ParallelSweep, AveragedSweepExcludesFailedSeeds)
+{
+    SimConfig s;
+    s.samplePackets = 200;
+    s.maxCycles = 60000;
+    s.debugPoisonRate = 0.04;
+    TrafficConfig t;
+    const auto pts = Sweep::overRatesAveraged(
+        NetworkConfig::vc16(), t, s, {0.02, 0.04}, 2, {.jobs = 2});
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_TRUE(pts[0].allCompleted);
+    EXPECT_EQ(pts[0].failedSeeds, 0u);
+    // Every seed of the poisoned rate fails; the point is marked, the
+    // sweep still returns it.
+    EXPECT_FALSE(pts[1].allCompleted);
+    EXPECT_EQ(pts[1].failedSeeds, 2u);
+    EXPECT_NE(pts[1].firstFailure.find("poisoned"), std::string::npos);
+}
+
 TEST(ParallelSweep, PointsIndependentOfSweptSet)
 {
     // A point's result depends only on (base seed, rate index, seed

@@ -84,7 +84,60 @@ TEST(Simulation, CycleCapMarksIncomplete)
     Simulation sim(NetworkConfig::vc16(), uniform(0.05), s);
     const Report r = sim.run();
     EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stopReason, StopReason::MaxCycles);
     EXPECT_LE(r.measuredCycles, 2000u + 5000u);
+}
+
+TEST(Simulation, CompletedRunReportsCompletedStopReason)
+{
+    SimConfig s;
+    s.samplePackets = 300;
+    s.maxCycles = 100000;
+    Simulation sim(NetworkConfig::vc16(), uniform(0.05), s);
+    const Report r = sim.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.stopReason, StopReason::Completed);
+    EXPECT_STREQ(stopReasonName(r.stopReason), "completed");
+}
+
+TEST(Simulation, WatchdogStallIsDistinguishedFromCycleCap)
+{
+    // Freeze every output port of every router shortly after the
+    // sample window opens: flits are in flight but nothing can move,
+    // which is exactly the condition the watchdog exists to catch —
+    // and the report must say "stall", not "ran out of cycles".
+    SimConfig s;
+    s.warmupCycles = 200;
+    s.samplePackets = 5000;
+    s.maxCycles = 60000;
+    s.watchdogCycles = 2000;
+    for (int n = 0; n < 16; ++n) {
+        for (unsigned p = 0; p < 5; ++p) {
+            s.fault.stalls.push_back(
+                {.node = n, .port = p, .start = 400, .end = 1000000});
+        }
+    }
+    Simulation sim(NetworkConfig::vc16(), uniform(0.05), s);
+    const Report r = sim.run();
+    EXPECT_FALSE(r.completed);
+    EXPECT_TRUE(r.deadlockSuspected);
+    EXPECT_EQ(r.stopReason, StopReason::WatchdogStall);
+    EXPECT_STREQ(stopReasonName(r.stopReason), "watchdog-stall");
+}
+
+TEST(Simulation, CheckFailureIsReportedNotThrown)
+{
+    SimConfig s;
+    s.samplePackets = 200;
+    s.debugPoisonRate = 0.05;
+    Simulation sim(NetworkConfig::vc16(), uniform(0.05), s);
+    Report r;
+    ASSERT_NO_THROW(r = sim.run());
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stopReason, StopReason::CheckFailure);
+    EXPECT_NE(r.checkFailureDiagnostic.find("poisoned"),
+              std::string::npos)
+        << r.checkFailureDiagnostic;
 }
 
 TEST(Simulation, ZeroTrafficTerminatesViaCap)

@@ -55,16 +55,16 @@ TEST(Sweep, SaturationDetection)
 {
     // Synthetic points: latency doubles past 0.14.
     std::vector<SweepPoint> pts(4);
-    pts[0] = {0.05, {}};
+    pts[0].injectionRate = 0.05;
     pts[0].report.completed = true;
     pts[0].report.avgLatencyCycles = 20.0;
-    pts[1] = {0.10, {}};
+    pts[1].injectionRate = 0.10;
     pts[1].report.completed = true;
     pts[1].report.avgLatencyCycles = 25.0;
-    pts[2] = {0.14, {}};
+    pts[2].injectionRate = 0.14;
     pts[2].report.completed = true;
     pts[2].report.avgLatencyCycles = 45.0;
-    pts[3] = {0.18, {}};
+    pts[3].injectionRate = 0.18;
     pts[3].report.completed = false;
     pts[3].report.avgLatencyCycles = 300.0;
 
@@ -118,7 +118,7 @@ TEST(Sweep, AveragedSingleSeedMatchesPlainRun)
 TEST(Sweep, NoSaturationReturnsNegative)
 {
     std::vector<SweepPoint> pts(1);
-    pts[0] = {0.05, {}};
+    pts[0].injectionRate = 0.05;
     pts[0].report.completed = true;
     pts[0].report.avgLatencyCycles = 21.0;
     EXPECT_LT(Sweep::saturationRate(pts, 20.0), 0.0);

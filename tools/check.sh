@@ -2,8 +2,9 @@
 # Repo check driver — the full correctness matrix:
 #
 #   1. tier-1:   configure + build (warnings-as-errors) + full ctest
-#   2. asan:     ASan+UBSan build; fuzz, audit and parallel-sweep
-#                tests at the paranoid check level
+#   2. asan:     ASan+UBSan build; fuzz, audit, fault and
+#                parallel-sweep tests at the paranoid check level,
+#                plus a fault-injection orion_sweep smoke run
 #   3. tsan:     ThreadSanitizer build of the parallel sweep engine
 #   4. overhead: bench/sweep_speed at check levels off/cheap/paranoid,
 #                reporting the runtime cost of the invariant layer
@@ -38,10 +39,16 @@ if run_leg asan; then
     cmake -B "$root/build-asan" -S "$root" \
         -DORION_ASAN=ON -DORION_UBSAN=ON -DORION_WERROR=ON
     cmake --build "$root/build-asan" -j "$jobs" \
-        --target fuzz_test audit_test parallel_sweep_test sweep_test
-    for t in fuzz_test audit_test parallel_sweep_test sweep_test; do
+        --target fuzz_test audit_test fault_test parallel_sweep_test \
+        sweep_test orion_sweep
+    for t in fuzz_test audit_test fault_test parallel_sweep_test \
+        sweep_test; do
         ORION_CHECK=paranoid "$root/build-asan/tests/$t"
     done
+    echo "== ASan+UBSan: fault-injection sweep smoke =="
+    ORION_CHECK=paranoid "$root/build-asan/tools/orion_sweep" \
+        --rates 0.02:0.06:3 --sample 500 --link-ber 2e-6 \
+        --link-outage 1200:1500 --jobs 2 > /dev/null
 fi
 
 if run_leg tsan; then

@@ -39,6 +39,11 @@ main(int argc, char** argv)
                                     ? cli::formatCsvReport(opts, report)
                                     : cli::formatReport(opts, report);
         std::fputs(out.c_str(), stdout);
+        if (report.stopReason == StopReason::CheckFailure) {
+            std::fprintf(stderr, "orion_sim: check failure: %s\n",
+                         report.checkFailureDiagnostic.c_str());
+            return 3;
+        }
         return report.deadlockSuspected ? 2 : 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());

@@ -88,8 +88,10 @@ main(int argc, char** argv)
             report::Table t;
             t.headers = {"rate",        "completed",   "latency_mean",
                          "latency_min", "latency_max", "throughput",
-                         "power_w"};
+                         "power_w",     "failed_seeds"};
+            unsigned failed = 0;
             for (const auto& p : points) {
+                failed += p.failedSeeds;
                 t.addRow({
                     report::fmt(p.injectionRate, 4),
                     p.allCompleted ? "1" : "0",
@@ -98,6 +100,7 @@ main(int argc, char** argv)
                     report::fmt(p.maxLatency, 3),
                     report::fmt(p.meanThroughput, 4),
                     report::fmt(p.meanPowerWatts, 4),
+                    std::to_string(p.failedSeeds),
                 });
             }
             std::fputs(report::formatCsv(t).c_str(), stdout);
@@ -105,6 +108,19 @@ main(int argc, char** argv)
                          "# zero-load latency: %.2f cycles; %u seeds "
                          "per point\n",
                          zero_load, seeds);
+            if (failed > 0) {
+                for (const auto& p : points) {
+                    if (p.failedSeeds == 0)
+                        continue;
+                    std::fprintf(
+                        stderr,
+                        "orion_sweep: rate %.4f: %u of %u seeds "
+                        "failed: %s\n",
+                        p.injectionRate, p.failedSeeds, p.seeds,
+                        p.firstFailure.c_str());
+                }
+                return 3;
+            }
             return 0;
         }
 
@@ -114,7 +130,7 @@ main(int argc, char** argv)
         report::Table t;
         t.headers = {"rate",    "completed", "latency", "p95",
                      "throughput", "power_w", "buffer_w", "crossbar_w",
-                     "arbiter_w",  "link_w"};
+                     "arbiter_w",  "link_w",  "status"};
         for (const auto& p : points) {
             const Report& r = p.report;
             t.addRow({
@@ -128,6 +144,7 @@ main(int argc, char** argv)
                 report::fmt(r.breakdownWatts.crossbar, 4),
                 report::fmt(r.breakdownWatts.arbiter, 5),
                 report::fmt(r.breakdownWatts.link, 4),
+                stopReasonName(r.stopReason),
             });
         }
         std::fputs(report::formatCsv(t).c_str(), stdout);
@@ -139,7 +156,24 @@ main(int argc, char** argv)
                      zero_load,
                      sat < 0 ? "beyond swept range"
                              : report::fmt(sat, 3).c_str());
-        return 0;
+
+        // Failure isolation: every healthy point above still printed;
+        // failed points carry their diagnosis (and forensics on
+        // stderr) and flip the exit code.
+        bool any_failed = false;
+        for (const auto& p : points) {
+            if (!p.failure)
+                continue;
+            any_failed = true;
+            std::fprintf(stderr,
+                         "orion_sweep: rate %.4f failed (%s): %s\n",
+                         p.injectionRate,
+                         stopReasonName(p.failure->reason),
+                         p.failure->message.c_str());
+            if (!p.failure->forensicsJson.empty())
+                std::fputs(p.failure->forensicsJson.c_str(), stderr);
+        }
+        return any_failed ? 3 : 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
