@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Telemetry overhead benchmark: times the same injection-rate sweep
+ * with telemetry disabled, with the windowed sampler at a 1000-cycle
+ * interval, and with flit tracing on, then reports the overhead of
+ * each mode relative to the disabled baseline. Emits machine-readable
+ * BENCH_telemetry.json; tools/check.sh gates the disabled-path
+ * regression on the sweep_speed benchmark and the sampled overhead on
+ * this one.
+ *
+ * Environment knobs (on top of bench_util's usual set):
+ *  - ORION_SAMPLE: packets per point (default 2000)
+ *  - ORION_REPS: timing repetitions per mode, best-of (default 3)
+ *  - ORION_BENCH_JSON: output path (default "BENCH_telemetry.json")
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double
+timeSweep(const NetworkConfig& net, const TrafficConfig& traffic,
+          const SimConfig& sim, const std::vector<double>& rates,
+          unsigned reps)
+{
+    double best = 0.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto start = Clock::now();
+        const auto points =
+            Sweep::overRates(net, traffic, sim, rates, SweepOptions{1});
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        if (points.size() != rates.size())
+            std::abort();
+        if (rep == 0 || elapsed.count() < best)
+            best = elapsed.count();
+    }
+    return best;
+}
+
+double
+overheadPct(double base, double mode)
+{
+    return base > 0.0 ? (mode / base - 1.0) * 100.0 : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig sim = defaultSimConfig();
+    sim.samplePackets = envU64("ORION_SAMPLE", 2000);
+    const unsigned reps =
+        static_cast<unsigned>(envU64("ORION_REPS", 3));
+    TrafficConfig traffic;
+    traffic.pattern = net::TrafficPattern::UniformRandom;
+
+    const NetworkConfig net = NetworkConfig::vc16();
+    const std::vector<double> rates = Sweep::linspace(0.02, 0.08, 4);
+
+    std::printf("Telemetry overhead — VC16, %zu rates, %llu sample "
+                "packets/point, best of %u\n\n",
+                rates.size(),
+                static_cast<unsigned long long>(sim.samplePackets),
+                reps);
+
+    // Mode 1: telemetry fully disabled (the default hot path).
+    SimConfig off = sim;
+    const double t_off = timeSweep(net, traffic, off, rates, reps);
+
+    // Mode 2: windowed sampling every 1000 cycles.
+    SimConfig sampled = sim;
+    sampled.telemetry.sampleInterval = 1000;
+    const double t_sampled =
+        timeSweep(net, traffic, sampled, rates, reps);
+
+    // Mode 3: sampling + flit tracing (every bus event recorded).
+    SimConfig traced = sampled;
+    traced.telemetry.traceEnabled = true;
+    const double t_traced =
+        timeSweep(net, traffic, traced, rates, reps);
+
+    const double pct_sampled = overheadPct(t_off, t_sampled);
+    const double pct_traced = overheadPct(t_off, t_traced);
+
+    report::Table t;
+    t.headers = {"mode", "wall (s)", "overhead"};
+    t.addRow({"disabled", report::fmt(t_off, 3), "baseline"});
+    t.addRow({"sampled (1k cycles)", report::fmt(t_sampled, 3),
+              report::fmt(pct_sampled, 1) + "%"});
+    t.addRow({"sampled + traced", report::fmt(t_traced, 3),
+              report::fmt(pct_traced, 1) + "%"});
+    std::printf("%s\n", report::formatTable(t).c_str());
+
+    const char* json_path = std::getenv("ORION_BENCH_JSON");
+    const std::string path =
+        json_path != nullptr ? json_path : "BENCH_telemetry.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"telemetry_overhead\",\n"
+        "  \"network\": \"vc16\",\n"
+        "  \"rates\": %zu,\n"
+        "  \"sample_packets_per_point\": %llu,\n"
+        "  \"reps\": %u,\n"
+        "  \"disabled\": { \"wall_s\": %.4f },\n"
+        "  \"sampled_1k\": { \"wall_s\": %.4f, "
+        "\"overhead_pct\": %.2f },\n"
+        "  \"traced\": { \"wall_s\": %.4f, \"overhead_pct\": %.2f }\n"
+        "}\n",
+        rates.size(),
+        static_cast<unsigned long long>(sim.samplePackets), reps,
+        t_off, t_sampled, pct_sampled, t_traced, pct_traced);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

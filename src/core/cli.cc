@@ -281,10 +281,33 @@ parse(const std::vector<std::string>& args)
             o.csv = true;
         } else if (a == "--breakdown") {
             o.breakdown = true;
+        } else if (a == "--metrics-out") {
+            o.metricsOut = value();
+        } else if (a == "--trace-out") {
+            o.traceOut = value();
+        } else if (a == "--sample-interval") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1)
+                fail("--sample-interval: must be >= 1");
+            o.sim.telemetry.sampleInterval =
+                static_cast<sim::Cycle>(n);
+        } else if (a == "--trace-capacity") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1)
+                fail("--trace-capacity: must be >= 1");
+            o.sim.telemetry.traceCapacity =
+                static_cast<std::size_t>(n);
         } else {
             fail("unknown option '" + a + "'");
         }
     }
+
+    // --metrics-out without an explicit interval samples every 1000
+    // cycles; --trace-out enables the tracer.
+    if (!o.metricsOut.empty() && o.sim.telemetry.sampleInterval == 0)
+        o.sim.telemetry.sampleInterval = 1000;
+    if (!o.traceOut.empty())
+        o.sim.telemetry.traceEnabled = true;
 
     // Cross-field checks happen in the library validators; run them
     // here so errors surface before the (possibly long) run starts.
@@ -368,7 +391,16 @@ usage()
            "\n"
            "output:\n"
            "  --csv                machine-readable one-row CSV\n"
-           "  --breakdown          per-node power map + event counts\n";
+           "  --breakdown          per-node power map + event counts\n"
+           "\n"
+           "telemetry (defaults: disabled; see docs/OBSERVABILITY.md):\n"
+           "  --metrics-out FILE   windowed metric time series (CSV)\n"
+           "  --sample-interval N  cycles per sampling window (default\n"
+           "                       1000 when --metrics-out is set)\n"
+           "  --trace-out FILE     Chrome trace-event JSON (load in\n"
+           "                       Perfetto / chrome://tracing)\n"
+           "  --trace-capacity N   trace ring-buffer records "
+           "(default 65536)\n";
 }
 
 std::string

@@ -19,6 +19,8 @@
  *   --retry-limit N --retry-backoff N
  *   --jobs N
  *   --csv
+ *   --metrics-out FILE --sample-interval N
+ *   --trace-out FILE --trace-capacity N
  */
 
 #ifndef ORION_CORE_CLI_HH
@@ -46,6 +48,13 @@ struct Options
     unsigned jobs = 0;
     /** Append the per-node power map and event counts (text mode). */
     bool breakdown = false;
+    /** Write the sampled metric time series here (--metrics-out;
+     * empty = don't). Implies a default --sample-interval of 1000
+     * cycles when none was given. */
+    std::string metricsOut;
+    /** Write the Chrome trace-event JSON here (--trace-out; empty =
+     * don't). */
+    std::string traceOut;
     /** --help was requested: print usage() and exit successfully. */
     bool helpRequested = false;
 };

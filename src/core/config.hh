@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/telemetry.hh"
 #include "net/fault.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
@@ -141,6 +142,12 @@ struct SimConfig
      * without this subsystem).
      */
     FaultConfig fault;
+    /**
+     * Telemetry (defaults = all disabled; the disabled configuration
+     * registers nothing with the simulator and produces bit-identical
+     * outputs to a build without the subsystem).
+     */
+    telemetry::TelemetryConfig telemetry;
     /**
      * Fault-drill hook in the spirit of debugCorruptCredit /
      * debugDropFlit: a run whose injection rate equals this value

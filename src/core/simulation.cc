@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
 #include "core/check.hh"
 #include "sim/rng.hh"
@@ -55,6 +56,25 @@ Simulation::Simulation(const NetworkConfig& network,
             interval /= 16;
         sim_.setAuditInterval(interval);
     }
+
+    // Telemetry (off by default: nothing is constructed or registered,
+    // keeping the disabled path bit-identical to a telemetry-free
+    // build).
+    const telemetry::TelemetryConfig& tele = simCfg_.telemetry;
+    if (tele.traceEnabled) {
+        tracer_ = std::make_unique<telemetry::FlitTracer>(
+            sim_.bus(), tele.traceCapacity);
+        if (faults_)
+            faults_->setTracer(tracer_.get());
+    }
+    if (tele.sampleInterval > 0) {
+        metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+        net::registerNetworkMetrics(*metrics_, *network_, *monitor_,
+                                    sim_.bus(), faults_.get());
+        sampler_ = std::make_unique<net::WindowedSampler>(
+            *metrics_, tele.sampleInterval);
+        sampler_->registerWith(sim_);
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -92,7 +112,31 @@ Simulation::run()
         r.totalCycles = sim_.now();
         fillFaultStats(r);
     }
+    // Close the sampler's final partial window whatever the outcome,
+    // so a failed run still exports the time series it collected.
+    if (sampler_)
+        sampler_->finalize(sim_.now());
     return r;
+}
+
+std::string
+Simulation::metricsCsv() const
+{
+    if (!sampler_)
+        return {};
+    std::ostringstream out;
+    sampler_->writeCsv(out);
+    return out.str();
+}
+
+std::string
+Simulation::traceJson(const std::string& label) const
+{
+    if (!tracer_)
+        return {};
+    std::ostringstream out;
+    tracer_->writeJson(out, label);
+    return out.str();
 }
 
 void
@@ -124,6 +168,11 @@ Simulation::runProtocol(Report& r)
     shared.sampling = true;
     shared.sampleRemaining = simCfg_.samplePackets;
     const sim::Cycle measure_start = sim_.now();
+    // The monitor reset above rewound the energy counters the sampler
+    // treats as monotone; re-read baselines and drop warm-up windows
+    // so the exported series covers exactly the measurement window.
+    if (sampler_)
+        sampler_->rebaseline(measure_start);
 
     // Phase 3: run until every sample packet has been received, with a
     // progress watchdog (no flit motion while packets are in flight =>

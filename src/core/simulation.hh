@@ -24,10 +24,12 @@
 
 #include "core/config.hh"
 #include "core/report.hh"
+#include "core/telemetry.hh"
 #include "net/audit.hh"
 #include "net/fault.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
+#include "net/sampler.hh"
 #include "sim/simulator.hh"
 
 namespace orion {
@@ -157,6 +159,33 @@ class Simulation
     }
     /// @}
 
+    /// @name Telemetry (null unless SimConfig::telemetry enables it)
+    /// @{
+    /** The metric registry, or nullptr with telemetry disabled. */
+    const telemetry::MetricsRegistry* metrics() const
+    {
+        return metrics_.get();
+    }
+    /** The windowed sampler, or nullptr without --sample-interval. */
+    const net::WindowedSampler* sampler() const
+    {
+        return sampler_.get();
+    }
+    /** The flit tracer, or nullptr without --trace-out. */
+    const telemetry::FlitTracer* tracer() const
+    {
+        return tracer_.get();
+    }
+
+    /** The sampled time series as long-format CSV (empty string when
+     * the sampler is disabled). */
+    std::string metricsCsv() const;
+    /** The retained trace as Chrome trace-event JSON (empty string
+     * when tracing is disabled). @p label lands in the trace
+     * metadata. */
+    std::string traceJson(const std::string& label) const;
+    /// @}
+
   private:
     /** Phases 1-4 of the measurement protocol; may throw
      * core::CheckFailure from a periodic or final audit. */
@@ -176,6 +205,14 @@ class Simulation
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<net::PowerMonitor> monitor_;
     std::unique_ptr<net::NetworkAuditor> auditor_;
+    /** Telemetry (all null when SimConfig::telemetry is disabled, so
+     * the hot path is untouched). The registry's readers point into
+     * network_/monitor_/faults_; destruction order (members above
+     * outlive these only by declaration order — registry last) is
+     * safe because readers never run after run() returns. */
+    std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+    std::unique_ptr<net::WindowedSampler> sampler_;
+    std::unique_ptr<telemetry::FlitTracer> tracer_;
 };
 
 } // namespace orion

@@ -22,6 +22,9 @@ struct CellResult
     Report report;
     std::optional<PointFailure> failure;
     unsigned attempts = 1;
+    /** Telemetry exports (only when captured — see runPoint). */
+    std::string metricsCsv;
+    std::string traceJson;
 };
 
 /**
@@ -35,7 +38,7 @@ struct CellResult
 CellResult
 runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
          const SimConfig& sim, double rate, std::size_t rate_index,
-         unsigned seed_index)
+         unsigned seed_index, bool capture_telemetry = false)
 {
     TrafficConfig t = traffic;
     t.injectionRate = rate;
@@ -56,6 +59,12 @@ runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
         try {
             Simulation run(network, t, s);
             res.report = run.run();
+            if (capture_telemetry && s.telemetry.enabled()) {
+                res.metricsCsv = run.metricsCsv();
+                res.traceJson = run.traceJson(
+                    "rate " + std::to_string(rate) + " seed " +
+                    std::to_string(seed_index));
+            }
             if (res.report.stopReason != StopReason::CheckFailure) {
                 res.failure.reset();
                 return res;
@@ -86,11 +95,13 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
     std::vector<SweepPoint> points(rates.size());
     core::parallelFor(opts.jobs, rates.size(), [&](std::size_t i) {
         points[i].injectionRate = rates[i];
-        CellResult cell =
-            runPoint(network, traffic, sim, rates[i], i, 0);
+        CellResult cell = runPoint(network, traffic, sim, rates[i], i,
+                                   0, /*capture_telemetry=*/true);
         points[i].report = std::move(cell.report);
         points[i].failure = std::move(cell.failure);
         points[i].attempts = cell.attempts;
+        points[i].metricsCsv = std::move(cell.metricsCsv);
+        points[i].traceJson = std::move(cell.traceJson);
     });
     return points;
 }

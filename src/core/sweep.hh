@@ -47,6 +47,13 @@ struct SweepPoint
     /** Simulation attempts spent on this point (2 = retried once on a
      * rederived seed after a transient check failure). */
     unsigned attempts = 1;
+    /** The point's sampled metric time series (long-format CSV),
+     * captured only when SimConfig::telemetry enables the sampler
+     * (overRates only; the averaged driver never captures). */
+    std::string metricsCsv;
+    /** The point's Chrome trace JSON, captured only when
+     * SimConfig::telemetry enables tracing (overRates only). */
+    std::string traceJson;
 };
 
 /** Execution options for sweep drivers. */

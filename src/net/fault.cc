@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/telemetry.hh"
+
 namespace orion::net {
 
 namespace {
@@ -160,6 +162,13 @@ FaultInjector::record(FaultKind kind, unsigned link,
     logHash_ = fnv1a(logHash_, ev.packetId);
     if (log_.size() < config_.maxLogEntries)
         log_.push_back(ev);
+    if (tracer_) {
+        tracer_->addInstant(kind == FaultKind::BitError
+                                ? "fault_bit_error"
+                                : "fault_link_outage",
+                            -1, static_cast<int>(link), now,
+                            ev.packetId);
+    }
 }
 
 void
@@ -213,6 +222,26 @@ FaultInjector::onPacketKilled(
            static_cast<std::size_t>(p->src) < nacksBySource_.size());
     nacksBySource_[static_cast<std::size_t>(p->src)].push_back(
         Nack{p, now});
+    if (tracer_)
+        tracer_->addInstant("nack", p->src, 0, now, p->id);
+}
+
+void
+FaultInjector::recordRetransmission(int node, std::uint64_t packet_id,
+                                    sim::Cycle now)
+{
+    ++packetsRetransmitted_;
+    if (tracer_)
+        tracer_->addInstant("retransmit", node, 0, now, packet_id);
+}
+
+void
+FaultInjector::recordPacketLost(int node, std::uint64_t packet_id,
+                                sim::Cycle now)
+{
+    ++packetsLost_;
+    if (tracer_)
+        tracer_->addInstant("packet_lost", node, 0, now, packet_id);
 }
 
 void

@@ -31,6 +31,10 @@
 #include "router/fault_hooks.hh"
 #include "sim/rng.hh"
 
+namespace orion::telemetry {
+class FlitTracer;
+}
+
 namespace orion::net {
 
 /**
@@ -162,9 +166,20 @@ class FaultInjector : public router::FaultHooks
     /// @{
     /** Drain the NACKs queued for source @p node. */
     std::vector<Nack> takeNacks(int node);
-    void recordRetransmission() { ++packetsRetransmitted_; }
-    void recordPacketLost() { ++packetsLost_; }
+    /** Source @p node scheduled a retransmission of @p packet_id. */
+    void recordRetransmission(int node, std::uint64_t packet_id,
+                              sim::Cycle now);
+    /** Source @p node abandoned @p packet_id (retry limit). */
+    void recordPacketLost(int node, std::uint64_t packet_id,
+                          sim::Cycle now);
     /// @}
+
+    /**
+     * Mirror recovery activity (fault injections, NACKs,
+     * retransmissions, losses) into @p tracer as instant events.
+     * Null detaches; the tracer must outlive the injector's use.
+     */
+    void setTracer(telemetry::FlitTracer* tracer) { tracer_ = tracer; }
 
     const FaultConfig& config() const { return config_; }
     unsigned linkCount() const
@@ -197,6 +212,7 @@ class FaultInjector : public router::FaultHooks
 
     FaultConfig config_;
     std::uint64_t seed_;
+    telemetry::FlitTracer* tracer_ = nullptr;
     unsigned flitBits_;
     /** P(at least one bit error in a flit traversal). */
     double pFlit_;

@@ -122,7 +122,7 @@ Node::retransmitStage(sim::Cycle now)
             ++packetsLost_;
             if (pkt->sample)
                 ++shared_.sampleLost;
-            injector_->recordPacketLost();
+            injector_->recordPacketLost(node(), pkt->id, now);
             continue;
         }
 
@@ -135,7 +135,7 @@ Node::retransmitStage(sim::Cycle now)
         const sim::Cycle delay = cfg.retryBackoffCycles
                                  << (next - 1);
         retryQueue_.emplace_back(now + delay, std::move(clone));
-        injector_->recordRetransmission();
+        injector_->recordRetransmission(node(), pkt->id, now);
     }
 
     // Release retries whose backoff expired, preserving scheduling

@@ -84,6 +84,19 @@ Router::setFaultHooks(FaultHooks* hooks)
 }
 
 std::size_t
+Router::creditsInFlight() const
+{
+    std::size_t n = 0;
+    for (const auto& counter : outputCredits_) {
+        if (!counter || counter->unlimited())
+            continue;
+        for (unsigned v = 0; v < counter->vcs(); ++v)
+            n += counter->depth(v) - counter->available(v);
+    }
+    return n;
+}
+
+std::size_t
 Router::pendingCreditReturns(unsigned port, unsigned vc) const
 {
     if (!faultHooks_)

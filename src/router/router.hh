@@ -168,6 +168,24 @@ class Router : public sim::Module
     std::size_t pendingCreditReturns(unsigned port, unsigned vc) const;
     /// @}
 
+    /// @name Telemetry counters (net::WindowedSampler reads these)
+    /// @{
+    /**
+     * Lifetime count of switch-allocation requests that did not
+     * receive a grant in their cycle — arbitration losses plus
+     * requests blocked by an occupied SA->ST latch. A per-window delta
+     * of this counter is the router's contention signal.
+     */
+    std::uint64_t saStalls() const { return saStalls_; }
+
+    /**
+     * Credits currently consumed toward downstream buffers across all
+     * connected, credit-limited outputs: the router's in-flight /
+     * downstream-buffered flit budget as the sender sees it.
+     */
+    std::size_t creditsInFlight() const;
+    /// @}
+
     /**
      * Attach fault hooks. Must be called before the first cycle; a
      * null-hooks router runs the exact fault-free fast path.
@@ -235,6 +253,9 @@ class Router : public sim::Module
     std::uint64_t flitsArrived_ = 0;
     std::uint64_t flitsForwarded_ = 0;
     std::uint64_t flitsDiscarded_ = 0;
+
+    /** Ungranted switch-allocation requests (see saStalls()). */
+    std::uint64_t saStalls_ = 0;
 
     FaultHooks* faultHooks_ = nullptr;
 

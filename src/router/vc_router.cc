@@ -219,8 +219,13 @@ CrossbarRouter::saStage(sim::Cycle now)
     const unsigned ports = params_.ports;
 
     auto& cand = saCand_;
-    for (unsigned p = 0; p < ports; ++p)
+    unsigned requesters = 0;
+    for (unsigned p = 0; p < ports; ++p) {
         cand[p] = pickCandidate(p);
+        if (cand[p])
+            ++requesters;
+    }
+    unsigned granted = 0;
 
     for (unsigned o = 0; o < ports; ++o) {
         // A port-stall fault leaves the ST latch occupied; don't
@@ -281,7 +286,9 @@ CrossbarRouter::saStage(sim::Cycle now)
         assert(!stLatch_[o]);
         stLatch_[o] = StEntry{std::move(flit), p};
         rrNextVc_[p] = (c.vc + 1) % params_.vcs;
+        ++granted;
     }
+    saStalls_ += requesters - granted;
 }
 
 void

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <cassert>
+
 namespace orion::sim {
 
 void
@@ -28,6 +30,14 @@ Simulator::runAudits() const
 }
 
 void
+Simulator::addPeriodic(std::string name, Cycle interval,
+                       std::function<void(Cycle)> fn)
+{
+    assert(interval > 0 && "periodic hooks need a nonzero interval");
+    periodics_.push_back({std::move(name), interval, std::move(fn)});
+}
+
+void
 Simulator::step()
 {
     for (auto* m : modules_)
@@ -41,6 +51,10 @@ Simulator::step()
     if (auditInterval_ != 0 && !audits_.empty() &&
         now_ % auditInterval_ == 0) {
         runAudits();
+    }
+    for (const auto& p : periodics_) {
+        if (now_ % p.interval == 0)
+            p.fn(now_);
     }
 }
 

@@ -78,11 +78,32 @@ class Simulator
     std::size_t auditCount() const { return audits_.size(); }
     /// @}
 
+    /// @name Periodic hooks (telemetry samplers; see net::WindowedSampler)
+    /// @{
+    /**
+     * Register a hook that runs at every cycle boundary where
+     * now() % interval == 0, after the cycle's modules, channels and
+     * audits. Hooks observe the same post-advance state audits do and
+     * must not mutate simulation state. @p interval must be > 0.
+     */
+    void addPeriodic(std::string name, Cycle interval,
+                     std::function<void(Cycle)> fn);
+
+    std::size_t periodicCount() const { return periodics_.size(); }
+    /// @}
+
   private:
     struct Audit
     {
         std::string name;
         std::function<void()> fn;
+    };
+
+    struct Periodic
+    {
+        std::string name;
+        Cycle interval;
+        std::function<void(Cycle)> fn;
     };
 
     void step();
@@ -91,6 +112,7 @@ class Simulator
     std::vector<Module*> modules_;
     std::vector<ChannelBase*> channels_;
     std::vector<Audit> audits_;
+    std::vector<Periodic> periodics_;
     Cycle auditInterval_ = 0;
     Cycle now_ = 0;
 };

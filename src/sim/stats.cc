@@ -67,9 +67,18 @@ Histogram::quantile(double q) const
         std::ceil(q * static_cast<double>(total_)));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        if (seen + bins_[i] >= target) {
+            // Interpolate within the bin: samples are assumed evenly
+            // spread across [i*w, (i+1)*w), so the quantile lands at
+            // the fraction of the bin's mass the target cuts through.
+            const double frac =
+                static_cast<double>(target - seen) /
+                static_cast<double>(bins_[i]);
+            return (static_cast<double>(i) + frac) * binWidth_;
+        }
         seen += bins_[i];
-        if (seen >= target)
-            return static_cast<double>(i + 1) * binWidth_;
     }
     return static_cast<double>(bins_.size()) * binWidth_;
 }

@@ -57,7 +57,10 @@ class Histogram
     double binWidth() const { return binWidth_; }
     std::uint64_t total() const { return total_; }
 
-    /** Value below which fraction @p q of samples fall (approximate). */
+    /** Value below which fraction @p q of samples fall, interpolated
+     * linearly within the containing bin (samples are assumed evenly
+     * spread across a bin's width); the overflow bin yields the upper
+     * edge of the last regular bin. */
     double quantile(double q) const;
 
   private:

@@ -77,6 +77,34 @@ TEST(Histogram, QuantileApproximates)
     EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBin)
+{
+    // 10 samples in one wide bin [0, 10): the quantile should cut
+    // through the bin's mass linearly, not snap to the bin edge.
+    Histogram h(10.0, 4);
+    for (int i = 0; i < 10; ++i)
+        h.add(1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);  // target 5 of 10
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);  // target 1 of 10
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0); // full bin
+
+    // Mass split across two bins: 4 samples in [0,10), 4 in [20,30).
+    Histogram g(10.0, 4);
+    for (int i = 0; i < 4; ++i)
+        g.add(1.0);
+    for (int i = 0; i < 4; ++i)
+        g.add(25.0);
+    EXPECT_DOUBLE_EQ(g.quantile(0.5), 10.0); // target 4 closes bin 0
+    EXPECT_DOUBLE_EQ(g.quantile(0.75), 25.0); // target 6: half of bin 2
+}
+
+TEST(Histogram, QuantileOverflowClampsToLastEdge)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0); // overflow only
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(1.0, 4);

@@ -22,6 +22,12 @@ one does:
   stdout-in-library  src/ never writes to stdout/stderr directly;
                      reporting code takes an std::ostream&. (CLI entry
                      points live in tools/, which may print.)
+  stat-printing      src/net and src/router must not print statistics
+                     at all, not even to an ostream snuck in via
+                     stdout: counters belong in telemetry::
+                     MetricsRegistry (sampled by net::WindowedSampler)
+                     or the end-of-run Report, so every statistic is
+                     machine-readable and deterministic.
 
 A finding can be suppressed by appending "// lint-allow: <rule>" to
 the offending line. Exit status is 0 when clean, 1 when findings
@@ -41,6 +47,11 @@ SCAN_DIRS = ("src", "tools", "bench", "tests")
 # Directories whose modules must be re-entrant (parallel sweeps run
 # one Simulation per worker thread).
 REENTRANT_DIRS = ("src/sim", "src/router", "src/power", "src/net")
+
+# Directories where any direct printing is treated as stat-printing:
+# these modules own the counters, and stats must flow through the
+# MetricsRegistry or the Report, never ad-hoc prints.
+STAT_DIRS = ("src/net/", "src/router/")
 
 SUPPRESS_RE = re.compile(r"//\s*lint-allow:\s*([\w-]+)")
 
@@ -181,10 +192,18 @@ class Linter:
                         "naked delete; owning pointers must be smart",
                         line)
                 if STDOUT_RE.search(code):
-                    self.report(
-                        path, idx, "stdout-in-library",
-                        "library code must not write to stdout/stderr; "
-                        "take an std::ostream&", line)
+                    if rel.startswith(STAT_DIRS):
+                        self.report(
+                            path, idx, "stat-printing",
+                            "network/router code must not print stats; "
+                            "register them with telemetry::"
+                            "MetricsRegistry or report them via Report",
+                            line)
+                    else:
+                        self.report(
+                            path, idx, "stdout-in-library",
+                            "library code must not write to stdout/"
+                            "stderr; take an std::ostream&", line)
 
             if reentrant and FILE_SCOPE_RE.match(code):
                 if (not FILE_SCOPE_OK_RE.match(code)
@@ -272,7 +291,8 @@ def main(argv):
 
     if args.list_rules:
         for rule in ("nondeterminism", "naked-new", "file-scope-state",
-                     "include-guard", "stdout-in-library"):
+                     "include-guard", "stdout-in-library",
+                     "stat-printing"):
             print(rule)
         return 0
 

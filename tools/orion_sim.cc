@@ -14,10 +14,26 @@
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/cli.hh"
+
+namespace {
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("orion_sim: cannot open '" + path +
+                                 "' for writing");
+    out << content;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -34,6 +50,11 @@ main(int argc, char** argv)
 
         Simulation simulation(opts.network, opts.traffic, opts.sim);
         const Report report = simulation.run();
+
+        if (!opts.metricsOut.empty())
+            writeFile(opts.metricsOut, simulation.metricsCsv());
+        if (!opts.traceOut.empty())
+            writeFile(opts.traceOut, simulation.traceJson("orion_sim"));
 
         const std::string out = opts.csv
                                     ? cli::formatCsvReport(opts, report)

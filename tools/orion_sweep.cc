@@ -11,6 +11,10 @@
  *                              0.01:0.20:10)
  *   --seeds N                  average each point over N seeds and
  *                              report the latency spread
+ *   --metrics-dir DIR          write each point's sampled time series
+ *                              to DIR/point_NNN.csv (--seeds 1 only)
+ *   --trace-dir DIR            write each point's Chrome trace JSON
+ *                              to DIR/point_NNN.json (--seeds 1 only)
  *
  * Example:
  *   orion_sweep --preset vc64 --rates 0.02:0.18:9 --seeds 3 > vc64.csv
@@ -18,6 +22,9 @@
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,18 +34,44 @@
 
 using namespace orion;
 
+namespace {
+
+/** DIR/point_NNN.EXT for sweep point @p i. */
+std::string
+pointPath(const std::string& dir, std::size_t i, const char* ext)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "point_%03zu.%s", i, ext);
+    return (std::filesystem::path(dir) / name).string();
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("orion_sweep: cannot open '" + path +
+                                 "' for writing");
+    out << content;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
     std::vector<double> rates = Sweep::linspace(0.01, 0.20, 10);
     unsigned seeds = 1;
+    std::string metrics_dir;
+    std::string trace_dir;
 
     // Extract the sweep-only options, pass the rest to the shared
     // parser.
     std::vector<std::string> rest;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--rates" || args[i] == "--seeds") {
+        if (args[i] == "--rates" || args[i] == "--seeds" ||
+            args[i] == "--metrics-dir" || args[i] == "--trace-dir") {
             const std::string opt = args[i];
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "orion_sweep: %s: missing value\n",
@@ -48,9 +81,13 @@ main(int argc, char** argv)
             try {
                 if (opt == "--rates")
                     rates = cli::parseRateSpec(args[++i]);
-                else
+                else if (opt == "--seeds")
                     seeds = static_cast<unsigned>(
                         std::stoul(args[++i]));
+                else if (opt == "--metrics-dir")
+                    metrics_dir = args[++i];
+                else
+                    trace_dir = args[++i];
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "orion_sweep: bad %s: %s\n",
                              opt.c_str(), e.what());
@@ -64,6 +101,13 @@ main(int argc, char** argv)
         std::fprintf(stderr, "orion_sweep: --seeds must be >= 1\n");
         return 1;
     }
+    if (seeds > 1 && (!metrics_dir.empty() || !trace_dir.empty())) {
+        // The averaged driver aggregates across seeds; there is no
+        // single time series per point to export.
+        std::fprintf(stderr, "orion_sweep: --metrics-dir/--trace-dir "
+                             "require --seeds 1\n");
+        return 1;
+    }
 
     try {
         const cli::Options opts = cli::parse(rest);
@@ -72,7 +116,11 @@ main(int argc, char** argv)
             std::fputs("\nsweep:\n  --rates FIRST:LAST:COUNT   "
                        "evenly spaced rates (default 0.01:0.20:10)\n"
                        "  --seeds N                  average each point "
-                       "over N seeds\n",
+                       "over N seeds\n"
+                       "  --metrics-dir DIR          per-point metric "
+                       "CSVs (DIR/point_NNN.csv)\n"
+                       "  --trace-dir DIR            per-point Chrome "
+                       "traces (DIR/point_NNN.json)\n",
                        stdout);
             return 0;
         }
@@ -124,8 +172,32 @@ main(int argc, char** argv)
             return 0;
         }
 
+        // Per-point telemetry export: the dir options imply the same
+        // telemetry defaults --metrics-out/--trace-out do in
+        // orion_sim. Telemetry stays off in parallel sweeps unless
+        // explicitly requested here.
+        SimConfig sim_cfg = opts.sim;
+        if (!metrics_dir.empty()) {
+            if (sim_cfg.telemetry.sampleInterval == 0)
+                sim_cfg.telemetry.sampleInterval = 1000;
+            std::filesystem::create_directories(metrics_dir);
+        }
+        if (!trace_dir.empty()) {
+            sim_cfg.telemetry.traceEnabled = true;
+            std::filesystem::create_directories(trace_dir);
+        }
+
         const auto points = Sweep::overRates(
-            opts.network, opts.traffic, opts.sim, rates, sweep_opts);
+            opts.network, opts.traffic, sim_cfg, rates, sweep_opts);
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!metrics_dir.empty())
+                writeFile(pointPath(metrics_dir, i, "csv"),
+                          points[i].metricsCsv);
+            if (!trace_dir.empty())
+                writeFile(pointPath(trace_dir, i, "json"),
+                          points[i].traceJson);
+        }
 
         report::Table t;
         t.headers = {"rate",    "completed", "latency", "p95",

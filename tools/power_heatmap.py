@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Spatial power map from an Orion metric time series.
+
+Reads the long-format CSV exported by --metrics-out (or a sweep's
+--metrics-dir point file), extracts the per-(node, component-class)
+energy counters (metrics named "power.<node>.<class>.energy_j"), and
+renders the spatial power map of paper Figure 6:
+
+  - an ASCII heatmap of total per-node energy over the measurement
+    window, laid out on the network's grid (--dims XxY), and
+  - optionally a per-node-per-window matrix CSV (--matrix-out) whose
+    rows are sampling windows and columns are nodes — the raw data
+    behind an animated/spatio-temporal view,
+  - optionally a PNG (--png-out) when matplotlib is available.
+
+Typical two-command recipe (see docs/EXPERIMENTS.md):
+
+  orion_sim --preset vc16 --pattern broadcast --rate 0.02 \\
+            --metrics-out bcast.csv
+  power_heatmap.py bcast.csv --dims 4x4
+
+Exit status: 0 on success, 1 on bad input, 2 on usage errors.
+"""
+
+import argparse
+import csv
+import re
+import sys
+
+POWER_RE = re.compile(r"^power\.(\d+)\.([a-z_]+)\.energy_j$")
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("metrics_csv", help="long-format metrics CSV "
+                   "(from --metrics-out / --metrics-dir)")
+    p.add_argument("--dims", default="4x4",
+                   help="grid layout XxY (default 4x4; node id = "
+                   "y*X + x, matching net::Topology)")
+    p.add_argument("--component", default=None,
+                   help="restrict to one component class "
+                   "(buffer, crossbar, arbiter, link, central_buffer)")
+    p.add_argument("--matrix-out", default=None,
+                   help="write the per-window per-node energy matrix "
+                   "CSV here")
+    p.add_argument("--png-out", default=None,
+                   help="render a PNG heatmap (needs matplotlib)")
+    return p.parse_args(argv)
+
+
+def load_energy(path, component):
+    """Return ({node: total_energy}, {window: {node: energy}})."""
+    totals = {}
+    by_window = {}
+    rows = 0
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        required = {"window", "metric", "value"}
+        if reader.fieldnames is None or not required.issubset(
+                reader.fieldnames):
+            raise ValueError(
+                f"{path}: expected columns {sorted(required)}; "
+                f"got {reader.fieldnames}")
+        for row in reader:
+            m = POWER_RE.match(row["metric"])
+            if not m:
+                continue
+            node, cls = int(m.group(1)), m.group(2)
+            if component is not None and cls != component:
+                continue
+            window = int(row["window"])
+            value = float(row["value"])
+            totals[node] = totals.get(node, 0.0) + value
+            by_window.setdefault(window, {})
+            by_window[window][node] = \
+                by_window[window].get(node, 0.0) + value
+            rows += 1
+    if rows == 0:
+        raise ValueError(
+            f"{path}: no power.<node>.<class>.energy_j rows found "
+            "(was the run sampled with --metrics-out?)")
+    return totals, by_window
+
+
+def parse_dims(spec):
+    m = re.match(r"^(\d+)x(\d+)$", spec)
+    if not m:
+        raise ValueError(f"--dims wants XxY, got '{spec}'")
+    return int(m.group(1)), int(m.group(2))
+
+
+def ascii_heatmap(totals, x_dim, y_dim):
+    """Render the per-node totals as a y-down grid with a scale."""
+    peak = max(totals.values())
+    shades = " .:-=+*#%@"
+    lines = []
+    lines.append(f"per-node energy (J), peak {peak:.3e}")
+    # y printed top-down so the origin is bottom-left, like Figure 6.
+    for y in range(y_dim - 1, -1, -1):
+        cells = []
+        glyphs = []
+        for x in range(x_dim):
+            e = totals.get(y * x_dim + x, 0.0)
+            cells.append(f"{e:9.3e}")
+            level = 0 if peak <= 0 else int(
+                (len(shades) - 1) * e / peak)
+            glyphs.append(shades[level] * 2)
+        lines.append("  " + " ".join(cells) + "   |" +
+                     "".join(glyphs) + "|")
+    return "\n".join(lines)
+
+
+def write_matrix(by_window, num_nodes, path):
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["window"] + [f"node_{n}" for n in range(num_nodes)])
+        for window in sorted(by_window):
+            row = by_window[window]
+            w.writerow([window] +
+                       [f"{row.get(n, 0.0):.9g}"
+                        for n in range(num_nodes)])
+
+
+def write_png(totals, x_dim, y_dim, path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("power_heatmap: matplotlib not available, skipping "
+              f"{path}", file=sys.stderr)
+        return
+    grid = [[totals.get(y * x_dim + x, 0.0) for x in range(x_dim)]
+            for y in range(y_dim)]
+    fig, ax = plt.subplots()
+    im = ax.imshow(grid, origin="lower", cmap="inferno")
+    ax.set_xlabel("x")
+    ax.set_ylabel("y")
+    ax.set_title("per-node energy (J)")
+    fig.colorbar(im, ax=ax, label="J")
+    fig.savefig(path, dpi=150, bbox_inches="tight")
+    print(f"wrote {path}")
+
+
+def main(argv):
+    args = parse_args(argv)
+    try:
+        x_dim, y_dim = parse_dims(args.dims)
+        totals, by_window = load_energy(args.metrics_csv,
+                                        args.component)
+    except (OSError, ValueError) as e:
+        print(f"power_heatmap: {e}", file=sys.stderr)
+        return 1
+
+    num_nodes = x_dim * y_dim
+    out_of_range = [n for n in totals if n >= num_nodes]
+    if out_of_range:
+        print(f"power_heatmap: node ids {sorted(out_of_range)} exceed "
+              f"--dims {args.dims} ({num_nodes} nodes)",
+              file=sys.stderr)
+        return 1
+
+    print(ascii_heatmap(totals, x_dim, y_dim))
+    total = sum(totals.values())
+    print(f"total: {total:.3e} J over {len(by_window)} windows")
+
+    if args.matrix_out:
+        write_matrix(by_window, num_nodes, args.matrix_out)
+        print(f"wrote {args.matrix_out}")
+    if args.png_out:
+        write_png(totals, x_dim, y_dim, args.png_out)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Output piped into head/less that exited early; not an error.
+        sys.exit(0)
