@@ -1,5 +1,6 @@
 #include "core/cli.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -270,6 +271,17 @@ parse(const std::vector<std::string>& args)
                 fail("--retry-backoff: must be >= 1");
             o.sim.fault.retryBackoffCycles =
                 static_cast<sim::Cycle>(n);
+        } else if (a == "--reroute") {
+            o.sim.rerouteOnOutage = true;
+        } else if (a == "--deadlock-detect") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1)
+                fail("--deadlock-detect: must be >= 1");
+            o.sim.deadlockDetect.enabled = true;
+            o.sim.deadlockDetect.thresholdCycles =
+                static_cast<sim::Cycle>(n);
+            o.sim.deadlockDetect.probeCycles = std::max<sim::Cycle>(
+                1, std::min<sim::Cycle>(128, n / 4));
         } else if (a == "--debug-poison-rate") {
             o.sim.debugPoisonRate = parseDouble(a, value());
         } else if (a == "--jobs") {
@@ -383,6 +395,14 @@ usage()
            "  --retry-backoff N    base retry backoff cycles "
            "(default 8)\n"
            "\n"
+           "robustness (defaults: disabled; docs/ROBUSTNESS.md):\n"
+           "  --reroute            reroute sources around dead links\n"
+           "                       (fail fast as 'unreachable' when a\n"
+           "                       destination is partitioned)\n"
+           "  --deadlock-detect N  detect wait-for cycles after N\n"
+           "                       frozen cycles and recover by worm\n"
+           "                       poisoning + retransmission\n"
+           "\n"
            "execution:\n"
            "  --jobs N             sweep worker threads (default: "
            "hardware\n"
@@ -454,6 +474,16 @@ formatReport(const Options& opts, const Report& r)
             << " retransmitted, " << r.packetsLost
             << " lost packets\n";
     }
+    if (r.reroutes + r.packetsUnreachable > 0) {
+        out << "  rerouting         : " << r.reroutes
+            << " detours, " << r.packetsUnreachable
+            << " unreachable packets\n";
+    }
+    if (r.deadlocksDetected > 0) {
+        out << "  deadlocks         : " << r.deadlocksDetected
+            << " detected, " << r.deadlocksRecovered
+            << " recovered\n";
+    }
 
     if (opts.breakdown) {
         const auto& dims = opts.network.net.dims;
@@ -500,7 +530,9 @@ formatCsvReport(const Options& opts, const Report& r)
                  "power_w",       "buffer_w",   "crossbar_w",
                  "arbiter_w",     "cbuffer_w",  "link_w",
                  "stop_reason",   "flits_corrupted",
-                 "packets_retransmitted",      "packets_lost"};
+                 "packets_retransmitted",      "packets_lost",
+                 "packets_unreachable",        "reroutes",
+                 "deadlocks_recovered"};
     t.addRow({
         report::fmt(opts.traffic.injectionRate, 4),
         r.completed ? "1" : "0",
@@ -521,6 +553,9 @@ formatCsvReport(const Options& opts, const Report& r)
         std::to_string(r.flitsCorrupted),
         std::to_string(r.packetsRetransmitted),
         std::to_string(r.packetsLost),
+        std::to_string(r.packetsUnreachable),
+        std::to_string(r.reroutes),
+        std::to_string(r.deadlocksRecovered),
     });
     return report::formatCsv(t);
 }

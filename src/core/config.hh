@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/telemetry.hh"
+#include "net/deadlock.hh"
 #include "net/fault.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
@@ -148,6 +149,19 @@ struct SimConfig
      * outputs to a build without the subsystem).
      */
     telemetry::TelemetryConfig telemetry;
+    /**
+     * Fault-tolerant rerouting (off by default): sources watch the
+     * surviving-topology view and rebuild routes around scheduled
+     * link outages instead of retransmitting into a dead link;
+     * partitioned destinations fail fast into the `unreachable` loss
+     * category. See net/health.hh and docs/ROBUSTNESS.md.
+     */
+    bool rerouteOnOutage = false;
+    /**
+     * Runtime deadlock detection and recovery (off by default). See
+     * net/deadlock.hh and docs/ROBUSTNESS.md.
+     */
+    net::DeadlockDetectConfig deadlockDetect;
     /**
      * Fault-drill hook in the spirit of debugCorruptCredit /
      * debugDropFlit: a run whose injection rate equals this value

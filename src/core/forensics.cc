@@ -37,8 +37,13 @@ forensicSnapshot(Simulation& sim, const std::string& reason)
     out << "  \"packets\": {\"injected\": " << net.totalInjected()
         << ", \"ejected\": " << net.totalEjected()
         << ", \"lost\": " << net.totalLost()
+        << ", \"unreachable\": " << net.totalUnreachable()
         << ", \"in_flight\": " << net.inFlight() << "},\n";
 
+    // Per-router stall map: frozen_cycles is how long each router has
+    // held resident flits without forwarding any (watchdog grain;
+    // empty before the drain phase runs).
+    const std::vector<sim::Cycle>& frozen = sim.routerFrozenCycles();
     out << "  \"routers\": [\n";
     for (unsigned n = 0; n < nodes; ++n) {
         const router::Router& r = net.router(static_cast<int>(n));
@@ -54,7 +59,9 @@ forensicSnapshot(Simulation& sim, const std::string& reason)
             << r.residentFlits() << ", \"arrived\": "
             << r.flitsArrived() << ", \"forwarded\": "
             << r.flitsForwarded() << ", \"discarded\": "
-            << r.flitsDiscarded() << ", \"output_credits\": "
+            << r.flitsDiscarded() << ", \"frozen_cycles\": "
+            << (n < frozen.size() ? frozen[n] : 0)
+            << ", \"output_credits\": "
             << credits << "}" << (n + 1 < nodes ? "," : "") << "\n";
     }
     out << "  ],\n";
@@ -66,10 +73,31 @@ forensicSnapshot(Simulation& sim, const std::string& reason)
             << ep.sourceQueueLength() << ", \"injected\": "
             << ep.packetsInjected() << ", \"ejected\": "
             << ep.packetsEjected() << ", \"lost\": "
-            << ep.packetsLost() << "}"
+            << ep.packetsLost() << ", \"unreachable\": "
+            << ep.packetsUnreachable() << "}"
             << (n + 1 < nodes ? "," : "") << "\n";
     }
     out << "  ]";
+
+    if (const net::HealthMonitor* health = sim.healthMonitor()) {
+        out << ",\n  \"health\": {\"epoch\": " << health->epoch()
+            << ", \"reroutes\": " << health->reroutes()
+            << ", \"down_links\": [";
+        const auto down = health->downLinks();
+        for (std::size_t i = 0; i < down.size(); ++i)
+            out << (i ? ", " : "") << down[i];
+        out << "]}";
+    }
+
+    if (const net::DeadlockDetector* det = sim.deadlockDetector()) {
+        out << ",\n  \"deadlock\": {\"detections\": "
+            << det->detections() << ", \"recovered\": "
+            << det->recoveries() << ", \"unrecoverable\": "
+            << (det->unrecoverable() ? "true" : "false");
+        if (!det->waitGraphJson().empty())
+            out << ", \"wait_graph\": " << det->waitGraphJson();
+        out << "}";
+    }
 
     if (const net::FaultInjector* inj = net.faultInjector()) {
         out << ",\n  \"faults\": {\n";

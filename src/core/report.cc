@@ -15,6 +15,8 @@ stopReasonName(StopReason reason)
       case StopReason::MaxCycles:     return "max-cycles";
       case StopReason::WatchdogStall: return "watchdog-stall";
       case StopReason::CheckFailure:  return "check-failure";
+      case StopReason::DeadlockUnrecovered:
+          return "deadlock-unrecovered";
     }
     return "unknown";
 }

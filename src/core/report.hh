@@ -27,10 +27,14 @@ enum class StopReason
     WatchdogStall,
     /** An ORION_CHECK/ORION_AUDIT invariant fired mid-run. */
     CheckFailure,
+    /** The runtime deadlock detector found a wait-for cycle it could
+     * not break (victim poisoning failed or the recovery budget was
+     * exhausted). Forensics carry the wait-for graph. */
+    DeadlockUnrecovered,
 };
 
 /** Stable lower-case name for @p reason ("completed", "max-cycles",
- * "watchdog-stall", "check-failure"). */
+ * "watchdog-stall", "check-failure", "deadlock-unrecovered"). */
 const char* stopReasonName(StopReason reason);
 
 } // namespace orion

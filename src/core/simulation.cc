@@ -23,7 +23,11 @@ Simulation::Simulation(const NetworkConfig& network,
 {
     netCfg_.validate();
     validateTraffic(netCfg_, trafficCfg_);
-    if (simCfg_.fault.enabled()) {
+    // Rerouting and deadlock recovery ride on the fault machinery
+    // (resolved outage schedules, NACK/retransmit), so either feature
+    // instantiates the injector even with no faults configured.
+    if (simCfg_.fault.enabled() || simCfg_.rerouteOnOutage ||
+        simCfg_.deadlockDetect.enabled) {
         simCfg_.fault.validate();
         const std::uint64_t fault_seed =
             simCfg_.fault.faultSeed != 0
@@ -35,6 +39,26 @@ Simulation::Simulation(const NetworkConfig& network,
     network_ = std::make_unique<net::Network>(sim_, netCfg_.net,
                                               trafficCfg_, simCfg_.seed,
                                               faults_.get());
+    // Robustness subsystems register after the network's routers and
+    // nodes, so they observe each cycle's settled state one cycle
+    // behind the modules they watch — deterministically, at any
+    // --jobs, since they run on the simulator's in-order module list.
+    if (simCfg_.rerouteOnOutage) {
+        health_ = std::make_unique<net::HealthMonitor>(
+            network_->topology(), network_->linkRecords(), *faults_,
+            netCfg_.net.deadlock);
+        sim_.add(health_.get());
+        const unsigned nn = network_->topology().numNodes();
+        for (unsigned i = 0; i < nn; ++i) {
+            network_->endpoint(static_cast<int>(i))
+                .setHealthMonitor(health_.get());
+        }
+    }
+    if (simCfg_.deadlockDetect.enabled) {
+        detector_ = std::make_unique<net::DeadlockDetector>(
+            *network_, simCfg_.deadlockDetect);
+        sim_.add(detector_.get());
+    }
     // Every node of a torus has the same outgoing link count; meshes
     // vary per node, so use the maximum (corner effects are small and
     // only matter for constant-power chip-to-chip links).
@@ -70,7 +94,8 @@ Simulation::Simulation(const NetworkConfig& network,
     if (tele.sampleInterval > 0) {
         metrics_ = std::make_unique<telemetry::MetricsRegistry>();
         net::registerNetworkMetrics(*metrics_, *network_, *monitor_,
-                                    sim_.bus(), faults_.get());
+                                    sim_.bus(), faults_.get(),
+                                    health_.get(), detector_.get());
         sampler_ = std::make_unique<net::WindowedSampler>(
             *metrics_, tele.sampleInterval);
         sampler_->registerWith(sim_);
@@ -150,6 +175,13 @@ Simulation::fillFaultStats(Report& r) const
     r.packetsRetransmitted = faults_->packetsRetransmitted();
     r.packetsLost = faults_->packetsLost();
     r.faultLogHash = faults_->faultLogHash();
+    r.packetsUnreachable = network_->totalUnreachable();
+    if (health_)
+        r.reroutes = health_->reroutes();
+    if (detector_) {
+        r.deadlocksDetected = detector_->detections();
+        r.deadlocksRecovered = detector_->recoveries();
+    }
 }
 
 void
@@ -179,9 +211,30 @@ Simulation::runProtocol(Report& r)
     // deadlock / pathological saturation).
     bool completed = false;
     bool deadlocked = false;
+    bool unrecovered = false;
     sim::Cycle elapsed = 0;
     std::uint64_t last_flits = 0;
     std::uint64_t last_reads = 0;
+    // Per-router stall map at watchdog granularity: cycles a router
+    // has held resident flits without forwarding any (forensics).
+    const unsigned n_routers = network_->topology().numNodes();
+    routerFrozenCycles_.assign(n_routers, 0);
+    std::vector<std::uint64_t> last_forwarded(n_routers, 0);
+    for (unsigned i = 0; i < n_routers; ++i) {
+        last_forwarded[i] =
+            network_->router(static_cast<int>(i)).flitsForwarded();
+    }
+    const auto track_frozen = [&](sim::Cycle chunk) {
+        for (unsigned i = 0; i < n_routers; ++i) {
+            const auto& rt = network_->router(static_cast<int>(i));
+            const std::uint64_t fwd = rt.flitsForwarded();
+            if (fwd == last_forwarded[i] && rt.residentFlits() > 0)
+                routerFrozenCycles_[i] += chunk;
+            else
+                routerFrozenCycles_[i] = 0;
+            last_forwarded[i] = fwd;
+        }
+    };
 
     const auto done = [&] {
         return shared.sampleRemaining == 0 &&
@@ -199,6 +252,11 @@ Simulation::runProtocol(Report& r)
             break;
         }
         elapsed += chunk;
+        track_frozen(chunk);
+        if (detector_ && detector_->unrecoverable()) {
+            unrecovered = true;
+            break;
+        }
 
         const std::uint64_t flits = network_->totalFlitsEjected();
         const std::uint64_t reads =
@@ -223,10 +281,11 @@ Simulation::runProtocol(Report& r)
     r.totalCycles = sim_.now();
     r.measuredCycles = measured;
     r.completed = completed;
-    r.deadlockSuspected = deadlocked;
-    r.stopReason = completed     ? StopReason::Completed
-                   : deadlocked ? StopReason::WatchdogStall
-                                : StopReason::MaxCycles;
+    r.deadlockSuspected = deadlocked || unrecovered;
+    r.stopReason = completed      ? StopReason::Completed
+                   : unrecovered ? StopReason::DeadlockUnrecovered
+                   : deadlocked  ? StopReason::WatchdogStall
+                                 : StopReason::MaxCycles;
     r.moduleCount = sim_.moduleCount();
     fillFaultStats(r);
 

@@ -26,7 +26,9 @@
 #include "core/report.hh"
 #include "core/telemetry.hh"
 #include "net/audit.hh"
+#include "net/deadlock.hh"
 #include "net/fault.hh"
+#include "net/health.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 #include "net/sampler.hh"
@@ -99,6 +101,15 @@ struct Report
     std::uint64_t packetsLost = 0;
     /** Deterministic fingerprint of the full fault log. */
     std::uint64_t faultLogHash = 0;
+    /** Packets dropped at the source because no surviving path to
+     * their destination existed (rerouting enabled only). */
+    std::uint64_t packetsUnreachable = 0;
+    /** Source routes rebuilt around dead links (rerouting only). */
+    std::uint64_t reroutes = 0;
+    /** Runtime deadlock detections / successful recoveries (deadlock
+     * detector only). */
+    std::uint64_t deadlocksDetected = 0;
+    std::uint64_t deadlocksRecovered = 0;
     /// @}
 
     /// @name Power (measurement window only)
@@ -157,6 +168,27 @@ class Simulation
     {
         return faults_.get();
     }
+    /** The surviving-topology monitor, or nullptr unless
+     * SimConfig::rerouteOnOutage is set. */
+    const net::HealthMonitor* healthMonitor() const
+    {
+        return health_.get();
+    }
+    /** The runtime deadlock detector, or nullptr unless
+     * SimConfig::deadlockDetect.enabled is set. */
+    const net::DeadlockDetector* deadlockDetector() const
+    {
+        return detector_.get();
+    }
+    /**
+     * Per-router cycles without forwarding progress while holding
+     * resident flits, tracked at watchdog granularity during the drain
+     * phase — the forensic snapshot's stall map. Empty before run().
+     */
+    const std::vector<sim::Cycle>& routerFrozenCycles() const
+    {
+        return routerFrozenCycles_;
+    }
     /// @}
 
     /// @name Telemetry (null unless SimConfig::telemetry enables it)
@@ -203,6 +235,10 @@ class Simulation
      * pointers into the injector, so it must outlive them. */
     std::unique_ptr<net::FaultInjector> faults_;
     std::unique_ptr<net::Network> network_;
+    /** Robustness subsystems (null unless enabled; both observe the
+     * network, so they are declared after it and destroyed first). */
+    std::unique_ptr<net::HealthMonitor> health_;
+    std::unique_ptr<net::DeadlockDetector> detector_;
     std::unique_ptr<net::PowerMonitor> monitor_;
     std::unique_ptr<net::NetworkAuditor> auditor_;
     /** Telemetry (all null when SimConfig::telemetry is disabled, so
@@ -213,6 +249,8 @@ class Simulation
     std::unique_ptr<telemetry::MetricsRegistry> metrics_;
     std::unique_ptr<net::WindowedSampler> sampler_;
     std::unique_ptr<telemetry::FlitTracer> tracer_;
+    /** Per-router stall map for forensics (see routerFrozenCycles). */
+    std::vector<sim::Cycle> routerFrozenCycles_;
 };
 
 } // namespace orion

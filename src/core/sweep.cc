@@ -123,8 +123,8 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
         opts.jobs, grid.size(), [&](std::size_t cell) {
             const std::size_t i = cell / num_seeds;
             const unsigned k = static_cast<unsigned>(cell % num_seeds);
-            grid[cell] =
-                runPoint(network, traffic, sim, rates[i], i, k);
+            grid[cell] = runPoint(network, traffic, sim, rates[i], i,
+                                  k, /*capture_telemetry=*/true);
         });
 
     // Deterministic merge: aggregate each rate's seeds in seed order,
@@ -142,7 +142,13 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
         avg.allCompleted = true;
         unsigned ok = 0;
         for (unsigned k = 0; k < num_seeds; ++k) {
-            const CellResult& cell = grid[i * num_seeds + k];
+            CellResult& cell = grid[i * num_seeds + k];
+            // Telemetry merges for every seed (empty for failed
+            // seeds), keeping seed indexes aligned for per-seed
+            // export directories.
+            avg.metricsCsvBySeed.push_back(
+                std::move(cell.metricsCsv));
+            avg.traceJsonBySeed.push_back(std::move(cell.traceJson));
             if (cell.failure) {
                 ++avg.failedSeeds;
                 if (avg.firstFailure.empty())

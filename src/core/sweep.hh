@@ -49,10 +49,11 @@ struct SweepPoint
     unsigned attempts = 1;
     /** The point's sampled metric time series (long-format CSV),
      * captured only when SimConfig::telemetry enables the sampler
-     * (overRates only; the averaged driver never captures). */
+     * (the averaged driver captures per seed instead — see
+     * AveragedPoint::metricsCsvBySeed). */
     std::string metricsCsv;
     /** The point's Chrome trace JSON, captured only when
-     * SimConfig::telemetry enables tracing (overRates only). */
+     * SimConfig::telemetry enables tracing. */
     std::string traceJson;
 };
 
@@ -87,6 +88,11 @@ struct AveragedPoint
     unsigned failedSeeds = 0;
     /** Diagnostic of the first failed seed, if any. */
     std::string firstFailure;
+    /** Per-seed telemetry exports, indexed by seed (captured only
+     * when SimConfig::telemetry enables the sampler/tracer; failed
+     * seeds hold empty strings so indexes stay aligned). */
+    std::vector<std::string> metricsCsvBySeed;
+    std::vector<std::string> traceJsonBySeed;
 };
 
 /** Injection-rate sweep driver. */

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Network health monitor: the surviving-topology view behind
+ * fault-tolerant rerouting.
+ *
+ * The monitor subscribes (by schedule) to the FaultInjector's link
+ * outage windows — finalizeTopology resolves every window to a
+ * concrete registered link before this module is built — and
+ * publishes, cycle by cycle, which inter-router links are currently
+ * dead. Each up/down transition bumps an epoch counter; sources watch
+ * the epoch and rebuild the routes of queued packets instead of
+ * retransmitting into a dead link.
+ *
+ * Degraded-mode paths come from a deterministic breadth-first search
+ * over the surviving graph (shortest path; ports scanned in ascending
+ * order; no RNG, so rebuilds never perturb the traffic stream's draw
+ * sequence). Dateline VC classes are layered onto each detour the same
+ * way DorRouting does — per maximal same-dimension run, class 1 when
+ * the run crosses the wraparound edge — so detours that happen to be
+ * dimension-ordered keep the escape-class deadlock guarantee. Detours
+ * that violate dimension order (possible around an outage) can, in
+ * principle, close a cycle the dateline classes do not cut; the
+ * runtime deadlock detector (net/deadlock.hh) backstops exactly that
+ * case. See docs/ROBUSTNESS.md.
+ */
+
+#ifndef ORION_NET_HEALTH_HH
+#define ORION_NET_HEALTH_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/fault.hh"
+#include "net/topology.hh"
+#include "router/flit.hh"
+#include "router/router.hh"
+#include "sim/module.hh"
+
+namespace orion::net {
+
+struct LinkRecord;
+
+/** Surviving-topology view + degraded-mode path computation. */
+class HealthMonitor : public sim::Module
+{
+  public:
+    /**
+     * @param topo      the built topology
+     * @param links     Network::linkRecords() (source of the
+     *                  (node, port) -> fault-link-id map)
+     * @param injector  finalized injector (outage windows resolved)
+     * @param deadlock  VC-class discipline detours must respect
+     */
+    HealthMonitor(const Topology& topo,
+                  const std::vector<LinkRecord>& links,
+                  const FaultInjector& injector,
+                  router::DeadlockMode deadlock);
+
+    /** Advance the down-link view to @p now (runs after the network
+     * modules each cycle, so sources observe transitions with a
+     * deterministic one-cycle lag). */
+    void cycle(sim::Cycle now) override;
+
+    /** Bumped on every change of the down-link set. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** True while at least one inter-router link is down. */
+    bool degraded() const { return downCount_ > 0; }
+
+    /** True if the link leaving @p node through @p port is down
+     * (local ports are never down). */
+    bool linkDown(int node, unsigned port) const;
+
+    /** True if @p route from @p src crosses no down link. */
+    bool routeHealthy(int src,
+                      const std::vector<router::RouteHop>& route) const;
+
+    /**
+     * Shortest path from @p src to @p dst on the surviving graph,
+     * ending with the ejection hop, with dateline VC classes assigned
+     * per dimension run. Deterministic (no RNG). nullopt when @p dst
+     * is unreachable from @p src (partitioned).
+     */
+    std::optional<std::vector<router::RouteHop>>
+    buildDetour(int src, int dst) const;
+
+    /** A source replaced an unhealthy route with a detour. */
+    void noteReroute() { ++reroutes_; }
+
+    /// @name Counters / forensics
+    /// @{
+    std::uint64_t reroutes() const { return reroutes_; }
+    /** Currently-down registered link ids, ascending. */
+    std::vector<unsigned> downLinks() const;
+    /// @}
+
+  private:
+    void recompute(sim::Cycle now);
+
+    const Topology& topo_;
+    router::DeadlockMode deadlock_;
+    std::vector<OutageWindow> outages_;
+
+    /** (node * ports + port) -> registered link id, or -1. */
+    std::vector<int> linkIdByNodePort_;
+    /** Down flag per registered link id. */
+    std::vector<bool> linkDown_;
+    unsigned downCount_ = 0;
+
+    /** Cycles at which the down-link set may change, ascending. */
+    std::vector<sim::Cycle> boundaries_;
+    std::size_t nextBoundary_ = 0;
+
+    std::uint64_t epoch_ = 0;
+    std::uint64_t reroutes_ = 0;
+};
+
+} // namespace orion::net
+
+#endif // ORION_NET_HEALTH_HH

@@ -114,15 +114,19 @@ Network::wire(sim::Simulator& simulator)
                                        params_.vcs, params_.bufferDepth,
                                        /*unlimited=*/false);
             routers_[j]->connectInput(q, data.get(), credit.get());
-            if (faults_)
-                data->attachFaultHooks(faults_,
-                                       faults_->registerLink());
+            int fault_link = -1;
+            if (faults_) {
+                const unsigned id = faults_->registerLink();
+                data->attachFaultHooks(faults_, id);
+                fault_link = static_cast<int>(id);
+            }
 
             simulator.addChannel(data.get());
             simulator.addChannel(credit.get());
             linkRecords_.push_back({LinkRecord::Kind::InterRouter,
                                     static_cast<int>(i), p, j, q,
-                                    data.get(), credit.get()});
+                                    data.get(), credit.get(),
+                                    fault_link});
             flitLinks_.push_back(std::move(data));
             creditLinks_.push_back(std::move(credit));
             ++interRouterLinks_;
@@ -209,12 +213,22 @@ Network::totalLost() const
 }
 
 std::uint64_t
+Network::totalUnreachable() const
+{
+    std::uint64_t t = 0;
+    for (const auto& n : nodes_)
+        t += n->packetsUnreachable();
+    return t;
+}
+
+std::uint64_t
 Network::inFlight() const
 {
-    // Lost packets (retry limit exhausted) are closed, not in flight:
-    // counting them would wedge the drain loop and false-fire the
-    // watchdog.
-    return totalInjected() - totalEjected() - totalLost();
+    // Lost packets (retry limit exhausted) and unreachable packets
+    // (destination partitioned) are closed, not in flight: counting
+    // them would wedge the drain loop and false-fire the watchdog.
+    return totalInjected() - totalEjected() - totalLost() -
+           totalUnreachable();
 }
 
 void

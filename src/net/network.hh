@@ -90,6 +90,10 @@ struct LinkRecord
     router::FlitLink* data;
     /** Credit-return channel; nullptr for ejection wiring. */
     router::CreditLink* credit;
+    /** Fault-injector link id for inter-router links when a fault
+     * injector is attached; -1 otherwise. The health monitor keys its
+     * surviving-topology view on this. */
+    int faultLinkId = -1;
 };
 
 /** A fully wired network of routers, nodes, and links. */
@@ -142,6 +146,9 @@ class Network
     std::uint64_t totalFlitsEjected() const;
     /** Packets abandoned after exhausting the retry limit. */
     std::uint64_t totalLost() const;
+    /** Packets dropped at the source because no surviving path to
+     * their destination existed (rerouting enabled only). */
+    std::uint64_t totalUnreachable() const;
     /** Packets created but neither fully ejected nor abandoned. */
     std::uint64_t inFlight() const;
     void resetFlitCounts();

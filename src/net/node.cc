@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "net/health.hh"
+
 namespace orion::net {
 
 Node::Node(std::string name, int node, const Topology& topo,
@@ -47,6 +49,20 @@ Node::setFaultInjector(FaultInjector* injector)
     injector_ = injector;
 }
 
+void
+Node::setHealthMonitor(HealthMonitor* health)
+{
+    health_ = health;
+}
+
+void
+Node::debugInjectPacket(std::shared_ptr<const router::PacketInfo> pkt)
+{
+    assert(pkt && pkt->length >= 1 && !pkt->route.empty());
+    ++packetsInjected_;
+    sourceQueue_.push_back(std::move(pkt));
+}
+
 power::BitVec
 Node::randomPayload()
 {
@@ -66,9 +82,71 @@ Node::cycle(sim::Cycle now)
     }
 
     ejectStage(now);
+    rerouteStage(now);
     retransmitStage(now);
     generateStage(now);
     injectStage(now);
+}
+
+void
+Node::dropUnreachable(const router::PacketInfo& pkt)
+{
+    ++packetsUnreachable_;
+    if (pkt.sample)
+        ++shared_.sampleLost;
+}
+
+bool
+Node::healRoute(std::shared_ptr<const router::PacketInfo>& pkt)
+{
+    if (health_->routeHealthy(node(), pkt->route))
+        return true;
+    auto detour = health_->buildDetour(node(), pkt->dst);
+    if (!detour)
+        return false;
+    // PacketInfo is shared immutably with in-flight flits; replace the
+    // route on a private clone.
+    auto clone = std::make_shared<router::PacketInfo>(*pkt);
+    clone->route = std::move(*detour);
+    pkt = std::move(clone);
+    health_->noteReroute();
+    return true;
+}
+
+void
+Node::rerouteStage(sim::Cycle now)
+{
+    (void)now;
+    if (!health_ || healthEpoch_ == health_->epoch())
+        return;
+    healthEpoch_ = health_->epoch();
+
+    // Rebuild the routes of queued packets that now cross a dead link
+    // (or whose detour is obsolete after a repair, which routeHealthy
+    // leaves alone — only broken routes are rebuilt). The source-queue
+    // head is skipped while mid-injection: its in-flight flits
+    // reference the current route.
+    for (std::size_t k = 0; k < sourceQueue_.size();) {
+        if (k == 0 && injectSeq_ > 0) {
+            ++k;
+            continue;
+        }
+        if (healRoute(sourceQueue_[k])) {
+            ++k;
+            continue;
+        }
+        dropUnreachable(*sourceQueue_[k]);
+        sourceQueue_.erase(sourceQueue_.begin() +
+                           static_cast<std::ptrdiff_t>(k));
+    }
+    for (auto it = retryQueue_.begin(); it != retryQueue_.end();) {
+        if (healRoute(it->second)) {
+            ++it;
+            continue;
+        }
+        dropUnreachable(*it->second);
+        it = retryQueue_.erase(it);
+    }
 }
 
 void
@@ -132,9 +210,18 @@ Node::retransmitStage(sim::Cycle now)
         // backoff that doubles per attempt.
         auto clone = std::make_shared<router::PacketInfo>(*pkt);
         clone->attempt = next;
+        std::shared_ptr<const router::PacketInfo> resend =
+            std::move(clone);
+        // With rerouting on, don't retransmit into a dead link: build
+        // a surviving-graph detour now, or fail fast as unreachable
+        // when the destination is partitioned.
+        if (health_ && health_->degraded() && !healRoute(resend)) {
+            dropUnreachable(*resend);
+            continue;
+        }
         const sim::Cycle delay = cfg.retryBackoffCycles
                                  << (next - 1);
-        retryQueue_.emplace_back(now + delay, std::move(clone));
+        retryQueue_.emplace_back(now + delay, std::move(resend));
         injector_->recordRetransmission(node(), pkt->id, now);
     }
 
@@ -173,12 +260,33 @@ Node::generateStage(sim::Cycle now)
         if (shared_.sampleRemaining == 0)
             shared_.sampling = false;
     }
+    // Always draw the normal DOR route first so the RNG stream is
+    // identical with and without rerouting enabled; only then check
+    // it against the surviving topology.
     pkt->route = routing_.route(node(), *dst, rng_);
+    bool unreachable = false;
+    if (health_ && health_->degraded() &&
+        !health_->routeHealthy(node(), pkt->route)) {
+        auto detour = health_->buildDetour(node(), *dst);
+        if (detour) {
+            pkt->route = std::move(*detour);
+            health_->noteReroute();
+        } else {
+            unreachable = true;
+        }
+    }
 
     ++packetsInjected_;
     bus_.emit({sim::EventType::PacketInjected, node(), 0,
                static_cast<std::uint32_t>(pkt->route.size()),
                pkt->sample ? 1u : 0u, now});
+    if (unreachable) {
+        // Fail fast: the destination is partitioned. The packet is
+        // closed immediately (never queued), settling the sample and
+        // in-flight accounting without burning the retry budget.
+        dropUnreachable(*pkt);
+        return;
+    }
     sourceQueue_.push_back(std::move(pkt));
 }
 
@@ -219,7 +327,9 @@ Node::injectStage(sim::Cycle now)
     router::Flit flit;
     flit.packet = pkt;
     flit.head = is_head;
-    flit.tail = injectSeq_ + 1 == packetLength_;
+    // pkt->length (not packetLength_): debug-injected packets may
+    // carry a different length than the traffic process generates.
+    flit.tail = injectSeq_ + 1 == pkt->length;
     flit.seq = injectSeq_;
     flit.hop = 0;
     flit.vc = static_cast<std::uint8_t>(injectVc_);
@@ -234,7 +344,7 @@ Node::injectStage(sim::Cycle now)
     toRouter_->send(std::move(flit), bus_, now);
     ++flitsInjectedTotal_;
 
-    if (++injectSeq_ == packetLength_) {
+    if (++injectSeq_ == pkt->length) {
         injectSeq_ = 0;
         sourceQueue_.pop_front();
     }

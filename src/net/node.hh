@@ -32,6 +32,8 @@
 
 namespace orion::net {
 
+class HealthMonitor;
+
 /**
  * Measurement state shared by all nodes of a network: marks which
  * packets belong to the 10,000-packet sample window (paper 4.1) and
@@ -103,6 +105,23 @@ class Node : public sim::Module
      */
     void setFaultInjector(FaultInjector* injector);
 
+    /**
+     * Enable fault-tolerant rerouting: watch @p health for topology
+     * epochs, rebuild queued routes that cross dead links (RNG-free
+     * detours, so the traffic stream's draw sequence is untouched),
+     * and drop packets whose destination is partitioned into the
+     * `unreachable` loss category instead of burning retries.
+     */
+    void setHealthMonitor(HealthMonitor* health);
+
+    /**
+     * Test-only: queue a fully specified packet (id, length, route
+     * already set) for injection, bypassing the traffic process —
+     * the debug knob behind injected-deadlock tests.
+     */
+    void
+    debugInjectPacket(std::shared_ptr<const router::PacketInfo> pkt);
+
     void cycle(sim::Cycle now) override;
 
     /// @name Statistics
@@ -111,6 +130,12 @@ class Node : public sim::Module
     std::uint64_t packetsEjected() const { return packetsEjected_; }
     /** Packets abandoned after exhausting the retry limit. */
     std::uint64_t packetsLost() const { return packetsLost_; }
+    /** Packets dropped because no surviving path to the destination
+     * existed (fail-fast partition loss; rerouting only). */
+    std::uint64_t packetsUnreachable() const
+    {
+        return packetsUnreachable_;
+    }
     std::uint64_t flitsEjected() const { return flitsEjected_; }
     std::size_t sourceQueueLength() const { return sourceQueue_.size(); }
     /** Zero the flit-ejection counter (start of measurement window). */
@@ -135,9 +160,19 @@ class Node : public sim::Module
 
   private:
     void ejectStage(sim::Cycle now);
+    void rerouteStage(sim::Cycle now);
     void retransmitStage(sim::Cycle now);
     void generateStage(sim::Cycle now);
     void injectStage(sim::Cycle now);
+
+    /** Close @p pkt as unreachable (counter + sample settlement). */
+    void dropUnreachable(const router::PacketInfo& pkt);
+    /**
+     * Replace @p pkt's route with a surviving-graph detour when it
+     * crosses a dead link. Returns false when the destination is
+     * partitioned (caller drops the packet as unreachable).
+     */
+    bool healRoute(std::shared_ptr<const router::PacketInfo>& pkt);
 
     power::BitVec randomPayload();
 
@@ -168,6 +203,7 @@ class Node : public sim::Module
     std::uint64_t packetsInjected_ = 0;
     std::uint64_t packetsEjected_ = 0;
     std::uint64_t packetsLost_ = 0;
+    std::uint64_t packetsUnreachable_ = 0;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t flitsInjectedTotal_ = 0;
     std::uint64_t flitsEjectedTotal_ = 0;
@@ -183,6 +219,13 @@ class Node : public sim::Module
     std::deque<std::pair<sim::Cycle,
                          std::shared_ptr<const router::PacketInfo>>>
         retryQueue_;
+    /// @}
+
+    /// @name Fault-tolerant rerouting (inert while health_ is null)
+    /// @{
+    HealthMonitor* health_ = nullptr;
+    /** Last surviving-topology epoch this node reacted to. */
+    std::uint64_t healthEpoch_ = 0;
     /// @}
 };
 

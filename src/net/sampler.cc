@@ -5,7 +5,9 @@
 #include <ostream>
 #include <string>
 
+#include "net/deadlock.hh"
 #include "net/fault.hh"
+#include "net/health.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 
@@ -87,7 +89,9 @@ void
 registerNetworkMetrics(telemetry::MetricsRegistry& reg, Network& net,
                        const PowerMonitor& monitor,
                        const sim::EventBus& bus,
-                       const FaultInjector* faults)
+                       const FaultInjector* faults,
+                       const HealthMonitor* health,
+                       const DeadlockDetector* detector)
 {
     const int nodes =
         static_cast<int>(net.topology().numNodes());
@@ -190,6 +194,29 @@ registerNetworkMetrics(telemetry::MetricsRegistry& reg, Network& net,
         });
         reg.addCounter("fault.packets_lost", [faults] {
             return double(faults->packetsLost());
+        });
+    }
+
+    // Fault-tolerant rerouting activity.
+    if (health) {
+        reg.addCounter("fault.reroutes", [health] {
+            return double(health->reroutes());
+        });
+        reg.addCounter("net.packets_unreachable", [&net] {
+            return double(net.totalUnreachable());
+        });
+        reg.addGauge("net.links_down", [health] {
+            return double(health->downLinks().size());
+        });
+    }
+
+    // Runtime deadlock detection/recovery.
+    if (detector) {
+        reg.addCounter("net.deadlocks_detected", [detector] {
+            return double(detector->detections());
+        });
+        reg.addCounter("net.deadlocks_recovered", [detector] {
+            return double(detector->recoveries());
         });
     }
 }

@@ -30,6 +30,8 @@ namespace orion::net {
 class Network;
 class PowerMonitor;
 class FaultInjector;
+class HealthMonitor;
+class DeadlockDetector;
 
 /** Snapshots a MetricsRegistry every @p interval cycles. */
 class WindowedSampler
@@ -97,14 +99,19 @@ class WindowedSampler
  * Publish the standard network metric namespace into @p registry:
  * net.* aggregates, latency.*, per-node node.N.* and router.N.*
  * counters/gauges, the per-(node, component-class) energy matrix
- * power.N.CLASS.energy_j, events.* bus totals, and fault.* counters
- * when @p faults is non-null. All arguments must outlive the registry's
- * readers (they live in the owning Simulation).
+ * power.N.CLASS.energy_j, events.* bus totals, fault.* counters when
+ * @p faults is non-null, rerouting counters (fault.reroutes,
+ * net.packets_unreachable) when @p health is non-null, and
+ * net.deadlocks_recovered when @p detector is non-null. All arguments
+ * must outlive the registry's readers (they live in the owning
+ * Simulation).
  */
 void registerNetworkMetrics(telemetry::MetricsRegistry& registry,
                             Network& net, const PowerMonitor& monitor,
                             const sim::EventBus& bus,
-                            const FaultInjector* faults);
+                            const FaultInjector* faults,
+                            const HealthMonitor* health = nullptr,
+                            const DeadlockDetector* detector = nullptr);
 
 } // namespace orion::net
 

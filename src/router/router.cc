@@ -145,6 +145,18 @@ Router::drainPendingCredits(sim::Cycle now)
 }
 
 void
+Router::armDropUntilTail(unsigned port, unsigned vc,
+                         std::uint64_t packet_id, unsigned attempt)
+{
+    if (!faultHooks_)
+        return;
+    DropState& drop = dropState_[port][vc];
+    drop.active = true;
+    drop.packetId = packet_id;
+    drop.attempt = attempt;
+}
+
+void
 Router::discardArrival(unsigned port, const Flit& flit, sim::Cycle now)
 {
     // The flit did arrive (link energy was spent) but is dropped

@@ -192,6 +192,65 @@ class Router : public sim::Module
      */
     void setFaultHooks(FaultHooks* hooks);
 
+    /// @name Deadlock-detector hooks (net::DeadlockDetector)
+    /// @{
+    /**
+     * Snapshot of one input VC's wait-for state, read by the runtime
+     * deadlock detector to build the wait-for graph. Only routers with
+     * per-VC allocation state (the crossbar VC router) fill it in.
+     */
+    struct VcWaitState
+    {
+        /** The VC holds at least one buffered flit. */
+        bool hasFront = false;
+        /** The front flit is a worm head (VC not yet streaming). */
+        bool frontHead = false;
+        /** VC allocation phase: 0 idle, 1 waiting-for-VC, 2 active. */
+        int phase = 0;
+        /** Requested/held output port (valid when phase != 0). */
+        unsigned outPort = 0;
+        /** Held output VC (valid when phase == 2). */
+        unsigned outVc = 0;
+        /** Dateline VC class the head bids in (valid when phase == 1). */
+        unsigned vcClass = 0;
+        /** Packet occupying the VC front (valid when hasFront). */
+        std::uint64_t packetId = 0;
+        unsigned attempt = 0;
+        sim::Cycle createdAt = 0;
+    };
+
+    /**
+     * Fill @p out with the wait state of input (@p port, @p vc).
+     * Returns false when this router kind exposes no such state.
+     */
+    virtual bool vcWaitState(unsigned port, unsigned vc,
+                             VcWaitState& out) const
+    {
+        (void)port;
+        (void)vc;
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Deadlock recovery: kill the worm whose head is parked at the
+     * front of input (@p port, @p vc) — NACK its source via the fault
+     * hooks, discard its buffered flits with exact credit returns, and
+     * arm drop-until-tail for the part still in flight upstream.
+     * Returns false when the VC front is not a head (or the router
+     * kind does not support poisoning); the caller picks a different
+     * victim.
+     */
+    virtual bool poisonBlockedWorm(unsigned port, unsigned vc,
+                                   sim::Cycle now)
+    {
+        (void)port;
+        (void)vc;
+        (void)now;
+        return false;
+    }
+    /// @}
+
   protected:
     /** What to do with a flit read off an input link. */
     enum class ArrivalAction
@@ -228,6 +287,16 @@ class Router : public sim::Module
 
     /** True if @p port is the local ejection port. */
     bool isLocalPort(unsigned port) const;
+
+    /**
+     * Arm the drop-until-tail screen for input (@p port, @p vc) so the
+     * still-in-flight remainder of attempt @p attempt of packet
+     * @p packet_id is discarded on arrival (used by deadlock recovery
+     * when the victim worm's tail has not reached this router yet).
+     * Requires fault hooks; no-op otherwise.
+     */
+    void armDropUntilTail(unsigned port, unsigned vc,
+                          std::uint64_t packet_id, unsigned attempt);
 
     /**
      * Minimum downstream space the bubble rule demands for a head flit

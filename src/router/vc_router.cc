@@ -117,6 +117,87 @@ CrossbarRouter::debugDropFlit(unsigned port, unsigned vc)
     --totalFlits_;
 }
 
+bool
+CrossbarRouter::vcWaitState(unsigned port, unsigned vc,
+                            VcWaitState& out) const
+{
+    assert(port < params_.ports && vc < params_.vcs);
+    const FlitFifo& fifo = fifos_[port][vc];
+    const VcState& st = vcState_[port][vc];
+    out = VcWaitState{};
+    out.hasFront = !fifo.empty();
+    out.phase = static_cast<int>(st.phase);
+    out.outPort = st.outPort;
+    out.outVc = st.outVc;
+    out.vcClass = st.vcClass;
+    if (out.hasFront) {
+        const Flit& front = fifo.front();
+        out.frontHead = front.head;
+        out.packetId = front.packet->id;
+        out.attempt = front.packet->attempt;
+        out.createdAt = front.packet->createdAt;
+        // An Idle VC with a head at the front is waiting to enter VC
+        // allocation (or, in wormhole mode, to claim the output at
+        // SA): surface the requested output from the source route so
+        // the detector can draw its wait edge.
+        if (st.phase == VcState::Phase::Idle && front.head) {
+            const RouteHop& hop = front.routeHop();
+            out.outPort = hop.port;
+            out.vcClass = hop.vcClass;
+        }
+    }
+    return true;
+}
+
+bool
+CrossbarRouter::poisonBlockedWorm(unsigned port, unsigned vc,
+                                  sim::Cycle now)
+{
+    assert(port < params_.ports && vc < params_.vcs);
+    if (!faultHooks_)
+        return false;
+    FlitFifo& fifo = fifos_[port][vc];
+    // Only a VC whose front is a worm head can be poisoned cleanly:
+    // nothing of this attempt is buffered downstream, so discarding
+    // the local run plus arming drop-until-tail for the in-flight
+    // remainder removes the whole attempt. Every wait-for cycle has at
+    // least one such VC (a body-front VC's head was forwarded onward,
+    // so the chain of body-front VCs terminates at a head-front one).
+    if (fifo.empty() || !fifo.front().head)
+        return false;
+    VcState& st = vcState_[port][vc];
+    const auto pkt = fifo.front().packet;
+    const unsigned attempt = pkt->attempt;
+    if (st.phase == VcState::Phase::Active)
+        outVcBusy_[st.outPort][st.outVc] = false;
+    st.reset();
+    faultHooks_->onPacketKilled(pkt, now);
+    // Discard the contiguous buffered run of this attempt, returning
+    // one upstream credit per freed slot. These flits were already
+    // counted in flitsArrived_ when buffered, so only the discard side
+    // of the conservation ledger moves.
+    bool saw_tail = false;
+    while (!fifo.empty()) {
+        const Flit& front = fifo.front();
+        if (front.packet->id != pkt->id ||
+            front.packet->attempt != attempt) {
+            break;
+        }
+        const Flit flit = fifo.read(now);
+        saw_tail = flit.tail;
+        --portFlits_[port];
+        --totalFlits_;
+        ++flitsDiscarded_;
+        sendCreditUpstream(port, vc, now);
+        faultHooks_->onFlitDiscarded(flit, now);
+        if (saw_tail)
+            break;
+    }
+    if (!saw_tail)
+        armDropUntilTail(port, vc, pkt->id, attempt);
+    return true;
+}
+
 void
 CrossbarRouter::cycle(sim::Cycle now)
 {

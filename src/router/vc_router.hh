@@ -75,6 +75,14 @@ class CrossbarRouter : public Router
     void debugDropFlit(unsigned port, unsigned vc);
     /// @}
 
+    /// @name Deadlock-detector hooks
+    /// @{
+    bool vcWaitState(unsigned port, unsigned vc,
+                     VcWaitState& out) const override;
+    bool poisonBlockedWorm(unsigned port, unsigned vc,
+                           sim::Cycle now) override;
+    /// @}
+
   private:
     /** A switch request an input port puts forward this cycle. */
     struct Candidate

@@ -35,7 +35,10 @@ if run_leg tier1; then
     echo "== tier-1: configure + build (-Werror) + ctest =="
     cmake -B "$root/build" -S "$root" -DORION_WERROR=ON
     cmake --build "$root/build" -j "$jobs"
-    ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+    # --timeout: a deadlocked simulation fails its test instead of
+    # wedging the whole leg.
+    ctest --test-dir "$root/build" --output-on-failure -j "$jobs" \
+        --timeout 600
 fi
 
 if run_leg asan; then
@@ -44,9 +47,9 @@ if run_leg asan; then
         -DORION_ASAN=ON -DORION_UBSAN=ON -DORION_WERROR=ON
     cmake --build "$root/build-asan" -j "$jobs" \
         --target fuzz_test audit_test fault_test parallel_sweep_test \
-        sweep_test orion_sweep
+        sweep_test reroute_test deadlock_test orion_sweep
     for t in fuzz_test audit_test fault_test parallel_sweep_test \
-        sweep_test; do
+        sweep_test reroute_test deadlock_test; do
         ORION_CHECK=paranoid "$root/build-asan/tests/$t"
     done
     echo "== ASan+UBSan: fault-injection sweep smoke =="

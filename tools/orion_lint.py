@@ -28,6 +28,11 @@ one does:
                      MetricsRegistry (sampled by net::WindowedSampler)
                      or the end-of-run Report, so every statistic is
                      machine-readable and deterministic.
+  fault-hooks        src/router must not reference net::FaultInjector
+                     or include net/fault.hh: routers see faults only
+                     through the router/fault_hooks.hh interface, so
+                     the router layer stays independent of the net
+                     layer's fault machinery.
 
 A finding can be suppressed by appending "// lint-allow: <rule>" to
 the offending line. Exit status is 0 when clean, 1 when findings
@@ -82,6 +87,11 @@ FILE_SCOPE_RE = re.compile(r"^(static|thread_local)\b")
 FILE_SCOPE_OK_RE = re.compile(
     r"^(static|thread_local)\s+(thread_local\s+)?(const\b|constexpr\b)"
 )
+
+# Router-layer isolation: routers must observe faults only through the
+# router/fault_hooks.hh interface, never the net-layer injector.
+FAULT_INJECTOR_RE = re.compile(r"\bFaultInjector\b")
+FAULT_INCLUDE_RE = re.compile(r'#\s*include\s*"net/fault\.hh"')
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -205,6 +215,20 @@ class Linter:
                             "library code must not write to stdout/"
                             "stderr; take an std::ostream&", line)
 
+            if rel.startswith("src/router/"):
+                # The include path is a string literal, so it is
+                # blanked in the cleaned line; match the raw line.
+                if FAULT_INJECTOR_RE.search(code):
+                    self.report(
+                        path, idx, "fault-hooks",
+                        "router code must not reference FaultInjector; "
+                        "go through router/fault_hooks.hh", line)
+                if FAULT_INCLUDE_RE.search(line):
+                    self.report(
+                        path, idx, "fault-hooks",
+                        "router code must not include net/fault.hh; "
+                        "go through router/fault_hooks.hh", line)
+
             if reentrant and FILE_SCOPE_RE.match(code):
                 if (not FILE_SCOPE_OK_RE.match(code)
                         and not self._is_function_decl(code)):
@@ -292,7 +316,7 @@ def main(argv):
     if args.list_rules:
         for rule in ("nondeterminism", "naked-new", "file-scope-state",
                      "include-guard", "stdout-in-library",
-                     "stat-printing"):
+                     "stat-printing", "fault-hooks"):
             print(rule)
         return 0
 

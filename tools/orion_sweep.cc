@@ -12,9 +12,11 @@
  *   --seeds N                  average each point over N seeds and
  *                              report the latency spread
  *   --metrics-dir DIR          write each point's sampled time series
- *                              to DIR/point_NNN.csv (--seeds 1 only)
+ *                              to DIR/point_NNN.csv (with --seeds N>1:
+ *                              DIR/seed_K/point_NNN.csv per seed)
  *   --trace-dir DIR            write each point's Chrome trace JSON
- *                              to DIR/point_NNN.json (--seeds 1 only)
+ *                              to DIR/point_NNN.json (per-seed
+ *                              subdirectories with --seeds N>1)
  *
  * Example:
  *   orion_sweep --preset vc64 --rates 0.02:0.18:9 --seeds 3 > vc64.csv
@@ -42,6 +44,15 @@ pointPath(const std::string& dir, std::size_t i, const char* ext)
 {
     char name[32];
     std::snprintf(name, sizeof name, "point_%03zu.%s", i, ext);
+    return (std::filesystem::path(dir) / name).string();
+}
+
+/** DIR/seed_K for seed @p k of a multi-seed sweep. */
+std::string
+seedDir(const std::string& dir, unsigned k)
+{
+    char name[24];
+    std::snprintf(name, sizeof name, "seed_%u", k);
     return (std::filesystem::path(dir) / name).string();
 }
 
@@ -101,13 +112,6 @@ main(int argc, char** argv)
         std::fprintf(stderr, "orion_sweep: --seeds must be >= 1\n");
         return 1;
     }
-    if (seeds > 1 && (!metrics_dir.empty() || !trace_dir.empty())) {
-        // The averaged driver aggregates across seeds; there is no
-        // single time series per point to export.
-        std::fprintf(stderr, "orion_sweep: --metrics-dir/--trace-dir "
-                             "require --seeds 1\n");
-        return 1;
-    }
 
     try {
         const cli::Options opts = cli::parse(rest);
@@ -118,9 +122,13 @@ main(int argc, char** argv)
                        "  --seeds N                  average each point "
                        "over N seeds\n"
                        "  --metrics-dir DIR          per-point metric "
-                       "CSVs (DIR/point_NNN.csv)\n"
+                       "CSVs (DIR/point_NNN.csv;\n"
+                       "                             DIR/seed_K/... "
+                       "with --seeds N>1)\n"
                        "  --trace-dir DIR            per-point Chrome "
-                       "traces (DIR/point_NNN.json)\n",
+                       "traces (DIR/point_NNN.json;\n"
+                       "                             per-seed subdirs "
+                       "with --seeds N>1)\n",
                        stdout);
             return 0;
         }
@@ -129,10 +137,54 @@ main(int argc, char** argv)
             opts.network, opts.traffic, opts.sim);
         const SweepOptions sweep_opts{opts.jobs};
 
+        // Per-point telemetry export: the dir options imply the same
+        // telemetry defaults --metrics-out/--trace-out do in
+        // orion_sim. Telemetry stays off in parallel sweeps unless
+        // explicitly requested here.
+        SimConfig sim_cfg = opts.sim;
+        if (!metrics_dir.empty()) {
+            if (sim_cfg.telemetry.sampleInterval == 0)
+                sim_cfg.telemetry.sampleInterval = 1000;
+            std::filesystem::create_directories(metrics_dir);
+        }
+        if (!trace_dir.empty()) {
+            sim_cfg.telemetry.traceEnabled = true;
+            std::filesystem::create_directories(trace_dir);
+        }
+
         if (seeds > 1) {
             const auto points = Sweep::overRatesAveraged(
-                opts.network, opts.traffic, opts.sim, rates, seeds,
+                opts.network, opts.traffic, sim_cfg, rates, seeds,
                 sweep_opts);
+
+            // Multi-seed telemetry lands in per-seed subdirectories:
+            // DIR/seed_K/point_NNN.{csv,json} (failed seeds captured
+            // nothing and are skipped).
+            for (unsigned k = 0; k < seeds; ++k) {
+                if (!metrics_dir.empty())
+                    std::filesystem::create_directories(
+                        seedDir(metrics_dir, k));
+                if (!trace_dir.empty())
+                    std::filesystem::create_directories(
+                        seedDir(trace_dir, k));
+            }
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const auto& p = points[i];
+                for (unsigned k = 0; k < seeds; ++k) {
+                    if (!metrics_dir.empty() &&
+                        !p.metricsCsvBySeed[k].empty()) {
+                        writeFile(pointPath(seedDir(metrics_dir, k),
+                                            i, "csv"),
+                                  p.metricsCsvBySeed[k]);
+                    }
+                    if (!trace_dir.empty() &&
+                        !p.traceJsonBySeed[k].empty()) {
+                        writeFile(pointPath(seedDir(trace_dir, k), i,
+                                            "json"),
+                                  p.traceJsonBySeed[k]);
+                    }
+                }
+            }
             report::Table t;
             t.headers = {"rate",        "completed",   "latency_mean",
                          "latency_min", "latency_max", "throughput",
@@ -170,21 +222,6 @@ main(int argc, char** argv)
                 return 3;
             }
             return 0;
-        }
-
-        // Per-point telemetry export: the dir options imply the same
-        // telemetry defaults --metrics-out/--trace-out do in
-        // orion_sim. Telemetry stays off in parallel sweeps unless
-        // explicitly requested here.
-        SimConfig sim_cfg = opts.sim;
-        if (!metrics_dir.empty()) {
-            if (sim_cfg.telemetry.sampleInterval == 0)
-                sim_cfg.telemetry.sampleInterval = 1000;
-            std::filesystem::create_directories(metrics_dir);
-        }
-        if (!trace_dir.empty()) {
-            sim_cfg.telemetry.traceEnabled = true;
-            std::filesystem::create_directories(trace_dir);
         }
 
         const auto points = Sweep::overRates(
