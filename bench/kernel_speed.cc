@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Serial cycle-kernel throughput benchmark: runs one Simulation (no
+ * sweep parallelism — this measures the single-core kernel the
+ * intra-sim parallelism roadmap item builds on) on two reference
+ * configurations and reports flits/sec:
+ *
+ *  - vc16:  the paper's 4x4 torus VC router (2 VCs x 8 flits,
+ *           256-bit flits) — the reference config every other bench
+ *           uses.
+ *  - k16n2: a 16-ary 2-cube (256 routers) of the same router — the
+ *           "large network bound by one slow core" workload from
+ *           ROADMAP item 1.
+ *
+ * Each config runs ORION_REPS times (default 3) and the best wall
+ * time wins (single runs on a loaded machine are noisier than the
+ * effects tracked). Results land in BENCH_kernel.json; tools/check.sh
+ * gates >10% flits/sec regressions against the committed copy.
+ *
+ * Determinism digests (mean latency, network power, flits ejected)
+ * are emitted at full precision so any kernel optimization can be
+ * checked for bit-identical reports against a pre-change run.
+ *
+ * Environment knobs:
+ *  - ORION_SAMPLE: sample packets per run (default 10000)
+ *  - ORION_REPS: repetitions per config (default 3)
+ *  - ORION_BENCH_JSON: output path (default "BENCH_kernel.json")
+ *  - ORION_KERNEL_BASELINE: optional path to a previously written
+ *    BENCH_kernel.json; when set, per-config speedup fields vs that
+ *    baseline are included in the output.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace orion;
+using namespace orion::bench;
+
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult
+{
+    std::string name;
+    unsigned nodes = 0;
+    double injectionRate = 0.0;
+    std::uint64_t samplePackets = 0;
+    double wallSeconds = 0.0;
+    sim::Cycle totalCycles = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t flitsForwarded = 0;
+    double flitsPerSecond = 0.0;
+    double hopFlitsPerSecond = 0.0;
+    double cyclesPerSecond = 0.0;
+    bool completed = false;
+    /// Determinism digests (must be bit-identical across kernels).
+    double avgLatencyCycles = 0.0;
+    double networkPowerWatts = 0.0;
+};
+
+KernelResult
+runConfig(const std::string& name, const NetworkConfig& net,
+          double rate, unsigned reps)
+{
+    SimConfig sim = defaultSimConfig();
+    TrafficConfig traffic;
+    traffic.pattern = net::TrafficPattern::UniformRandom;
+    traffic.injectionRate = rate;
+
+    KernelResult best;
+    best.name = name;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Simulation s(net, traffic, sim);
+        const auto start = Clock::now();
+        const Report r = s.run();
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+
+        KernelResult k;
+        k.name = name;
+        k.nodes = s.network().topology().numNodes();
+        k.injectionRate = rate;
+        k.samplePackets = sim.samplePackets;
+        k.wallSeconds = elapsed.count();
+        k.totalCycles = r.totalCycles;
+        k.completed = r.completed;
+        k.avgLatencyCycles = r.avgLatencyCycles;
+        k.networkPowerWatts = r.networkPowerWatts;
+        for (unsigned i = 0; i < k.nodes; ++i) {
+            k.flitsEjected +=
+                s.network().endpoint(static_cast<int>(i))
+                    .flitsEjectedTotal();
+            k.flitsForwarded +=
+                s.network().router(static_cast<int>(i))
+                    .flitsForwarded();
+        }
+        k.flitsPerSecond =
+            static_cast<double>(k.flitsEjected) / k.wallSeconds;
+        k.hopFlitsPerSecond =
+            static_cast<double>(k.flitsForwarded) / k.wallSeconds;
+        k.cyclesPerSecond =
+            static_cast<double>(k.totalCycles) / k.wallSeconds;
+        if (rep == 0 || k.wallSeconds < best.wallSeconds)
+            best = k;
+    }
+    return best;
+}
+
+/** Crude extraction of "configs.<name>.flits_per_s" from a previously
+ * written BENCH_kernel.json (no JSON library in the toolchain). */
+std::optional<double>
+baselineFlitsPerSecond(const std::string& json, const std::string& name)
+{
+    const std::string key = "\"" + name + "\"";
+    std::size_t at = json.find(key);
+    if (at == std::string::npos)
+        return std::nullopt;
+    at = json.find("\"flits_per_s\"", at);
+    if (at == std::string::npos)
+        return std::nullopt;
+    at = json.find(':', at);
+    if (at == std::string::npos)
+        return std::nullopt;
+    return std::strtod(json.c_str() + at + 1, nullptr);
+}
+
+std::string
+readFile(const char* path)
+{
+    std::FILE* f = std::fopen(path, "rb");
+    if (f == nullptr)
+        return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+writeConfigJson(std::FILE* f, const KernelResult& k,
+                std::optional<double> baseline, bool last)
+{
+    std::fprintf(
+        f,
+        "    \"%s\": {\n"
+        "      \"nodes\": %u,\n"
+        "      \"injection_rate\": %.4f,\n"
+        "      \"sample_packets\": %llu,\n"
+        "      \"completed\": %s,\n"
+        "      \"wall_s\": %.4f,\n"
+        "      \"total_cycles\": %llu,\n"
+        "      \"flits_ejected\": %llu,\n"
+        "      \"flits_forwarded\": %llu,\n"
+        "      \"flits_per_s\": %.1f,\n"
+        "      \"hop_flits_per_s\": %.1f,\n"
+        "      \"cycles_per_s\": %.1f,\n"
+        "      \"avg_latency_cycles\": %.17g,\n"
+        "      \"network_power_w\": %.17g",
+        k.name.c_str(), k.nodes, k.injectionRate,
+        static_cast<unsigned long long>(k.samplePackets),
+        k.completed ? "true" : "false", k.wallSeconds,
+        static_cast<unsigned long long>(k.totalCycles),
+        static_cast<unsigned long long>(k.flitsEjected),
+        static_cast<unsigned long long>(k.flitsForwarded),
+        k.flitsPerSecond, k.hopFlitsPerSecond, k.cyclesPerSecond,
+        k.avgLatencyCycles, k.networkPowerWatts);
+    if (baseline && *baseline > 0.0) {
+        std::fprintf(f,
+                     ",\n      \"baseline_flits_per_s\": %.1f,\n"
+                     "      \"speedup_vs_baseline\": %.3f",
+                     *baseline, k.flitsPerSecond / *baseline);
+    }
+    std::fprintf(f, "\n    }%s\n", last ? "" : ",");
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned reps =
+        static_cast<unsigned>(envU64("ORION_REPS", 3));
+
+    // Reference config 1: the paper's 4x4 VC16 network.
+    const NetworkConfig vc16 = NetworkConfig::vc16();
+
+    // Reference config 2: 16-ary 2-cube of the same router. The
+    // per-node saturation rate shrinks with radix (DOR mean hop count
+    // ~k/2 per dimension), so inject well below it.
+    NetworkConfig k16n2 = NetworkConfig::vc16();
+    k16n2.net.dims = {16, 16};
+
+    std::printf("Serial cycle-kernel throughput — best of %u runs\n\n",
+                reps);
+
+    std::vector<KernelResult> results;
+    results.push_back(runConfig("vc16", vc16, 0.06, reps));
+    results.push_back(runConfig("k16n2", k16n2, 0.02, reps));
+
+    report::Table t;
+    t.headers = {"config",  "nodes",      "wall (s)", "Mflits/s",
+                 "Mhops/s", "Mcycles/s",  "completed"};
+    for (const KernelResult& k : results) {
+        t.addRow({k.name, std::to_string(k.nodes),
+                  report::fmt(k.wallSeconds, 3),
+                  report::fmt(k.flitsPerSecond / 1e6, 3),
+                  report::fmt(k.hopFlitsPerSecond / 1e6, 3),
+                  report::fmt(k.cyclesPerSecond / 1e6, 3),
+                  k.completed ? "yes" : "NO"});
+    }
+    std::printf("%s\n", report::formatTable(t).c_str());
+
+    const char* baseline_path = std::getenv("ORION_KERNEL_BASELINE");
+    const std::string baseline_json =
+        baseline_path != nullptr ? readFile(baseline_path)
+                                 : std::string{};
+
+    const char* json_path = std::getenv("ORION_BENCH_JSON");
+    const std::string path =
+        json_path != nullptr ? json_path : "BENCH_kernel.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"kernel_speed\",\n"
+                 "  \"serial\": true,\n"
+                 "  \"reps\": %u,\n"
+                 "  \"configs\": {\n",
+                 reps);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::optional<double> base =
+            baseline_json.empty()
+                ? std::nullopt
+                : baselineFlitsPerSecond(baseline_json,
+                                         results[i].name);
+        writeConfigJson(f, results[i], base,
+                        i + 1 == results.size());
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    bool ok = true;
+    for (const KernelResult& k : results)
+        ok = ok && k.completed;
+    return ok ? 0 : 1;
+}

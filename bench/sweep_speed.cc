@@ -87,6 +87,18 @@ main()
     const unsigned hw = core::resolveJobs(0);
     const unsigned jobs =
         static_cast<unsigned>(envU64("ORION_JOBS", hw));
+    // With one hardware thread the "parallel" run is serial execution
+    // plus thread overhead, so its speedup says nothing about the
+    // sweep engine. Report it, but mark the measurement degenerate.
+    const bool degenerate = hw <= 1;
+    if (degenerate) {
+        std::fprintf(stderr,
+                     "sweep_speed: WARNING: hardware_concurrency is "
+                     "%u; the parallel timing is degenerate (threads "
+                     "share one core) and the speedup figure is not "
+                     "meaningful\n",
+                     hw);
+    }
 
     std::printf("Parallel sweep speed — VC16, %zu rates x %u seeds, "
                 "%llu sample packets/point, %u hardware threads\n\n",
@@ -113,6 +125,9 @@ main()
               report::fmt(speedup, 2)});
     std::printf("%s\n", report::formatTable(t).c_str());
     std::printf("results bit-identical: %s\n", same ? "yes" : "NO");
+    if (degenerate)
+        std::printf("NOTE: single hardware thread — speedup is not "
+                    "meaningful\n");
 
     const char* json_path = std::getenv("ORION_BENCH_JSON");
     const std::string path =
@@ -136,12 +151,18 @@ main()
         "  \"serial\": { \"wall_s\": %.4f, \"points_per_s\": %.3f },\n"
         "  \"parallel\": { \"wall_s\": %.4f, \"points_per_s\": %.3f },\n"
         "  \"speedup\": %.3f,\n"
+        "  \"speedup_meaningful\": %s,\n"
+        "%s"
         "  \"bit_identical\": %s\n"
         "}\n",
         rates.size(), seeds, rates.size() * seeds,
         static_cast<unsigned long long>(sim.samplePackets), hw, jobs,
         serial.wallSeconds, serial.pointsPerSecond,
         parallel.wallSeconds, parallel.pointsPerSecond, speedup,
+        degenerate ? "false" : "true",
+        degenerate ? "  \"warning\": \"hardware_concurrency is 1; "
+                     "parallel timing is degenerate\",\n"
+                   : "",
         same ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());

@@ -40,10 +40,13 @@ levelFromEnvironment()
 
 namespace detail {
 
-std::atomic<int>&
-checkLevelStorage()
+int
+initCheckLevel()
 {
-    static std::atomic<int> level{levelFromEnvironment()};
+    const int level = levelFromEnvironment();
+    // Several threads may race the first lookup; they all compute the
+    // same environment-derived value, so last-writer-wins is benign.
+    g_checkLevel.store(level, std::memory_order_relaxed);
     return level;
 }
 
@@ -52,16 +55,17 @@ checkLevelStorage()
 CheckLevel
 checkLevel()
 {
-    return static_cast<CheckLevel>(
-        detail::checkLevelStorage().load(std::memory_order_relaxed));
+    int level = detail::g_checkLevel.load(std::memory_order_relaxed);
+    if (level < 0)
+        level = detail::initCheckLevel();
+    return static_cast<CheckLevel>(level);
 }
 
 void
 setCheckLevel(CheckLevel level)
 {
-    detail::checkLevelStorage().store(
-        clampToCompiled(static_cast<int>(level)),
-        std::memory_order_relaxed);
+    detail::g_checkLevel.store(clampToCompiled(static_cast<int>(level)),
+                               std::memory_order_relaxed);
 }
 
 CheckLevel

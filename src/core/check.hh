@@ -81,14 +81,24 @@ CheckLevel compiledCheckLevel();
 
 namespace detail {
 
-/** Relaxed-atomic storage behind checkLevel(). */
-std::atomic<int>& checkLevelStorage();
+/**
+ * Relaxed-atomic storage behind checkLevel(). Kept inline in the
+ * header so ORION_CHECK's level test on hot paths is a single relaxed
+ * load instead of an out-of-line call; -1 means "not yet initialized
+ * from the ORION_CHECK environment variable".
+ */
+inline std::atomic<int> g_checkLevel{-1};
+
+/** Slow path: initialize g_checkLevel from the environment. */
+int initCheckLevel();
 
 inline bool
 levelActive(CheckLevel needed)
 {
-    return checkLevelStorage().load(std::memory_order_relaxed) >=
-           static_cast<int>(needed);
+    int level = g_checkLevel.load(std::memory_order_relaxed);
+    if (level < 0)
+        level = initCheckLevel();
+    return level >= static_cast<int>(needed);
 }
 
 } // namespace detail

@@ -44,9 +44,15 @@ FlitTracer::FlitTracer(sim::EventBus& bus, std::size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1)
 {
     ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+    // The tracer is only constructed when tracing is enabled, so a
+    // disabled run has no telemetry handlers on the bus at all.
     for (unsigned t = 0; t < sim::kNumEventTypes; ++t) {
-        bus.subscribe(static_cast<sim::EventType>(t),
-                      [this](const sim::Event& ev) { onEvent(ev); });
+        bus.subscribeRaw(
+            static_cast<sim::EventType>(t),
+            [](void* ctx, const sim::Event& ev) {
+                static_cast<FlitTracer*>(ctx)->onEvent(ev);
+            },
+            this);
     }
 }
 

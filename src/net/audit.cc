@@ -39,21 +39,6 @@ creditsOnVc(const router::CreditLink& link, unsigned vc)
     return n;
 }
 
-/** Occupancy of input FIFO (@p port, @p vc) of @p target. */
-std::size_t
-downstreamOccupancy(const router::Router& target, unsigned port,
-                    unsigned vc)
-{
-    if (const auto* xb =
-            dynamic_cast<const router::CrossbarRouter*>(&target))
-        return xb->inputFifo(port, vc).size();
-    const auto* cb =
-        dynamic_cast<const router::CentralBufferRouter*>(&target);
-    ORION_CHECK(cb != nullptr && vc == 0,
-                "credit audit: unknown router type or bad VC " << vc);
-    return cb->inputFifo(port).size();
-}
-
 const char*
 linkKindName(LinkRecord::Kind kind)
 {
@@ -108,8 +93,39 @@ NetworkAuditor::flitsOnLink(const router::FlitLink& link)
 }
 
 void
+NetworkAuditor::buildCache() const
+{
+    const unsigned nodes = net_.topology().numNodes();
+    cbRouter_.assign(nodes, nullptr);
+    for (unsigned n = 0; n < nodes; ++n) {
+        cbRouter_[n] =
+            dynamic_cast<const router::CentralBufferRouter*>(
+                &net_.router(static_cast<int>(n)));
+    }
+    const auto& records = net_.linkRecords();
+    recordCache_.resize(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const LinkRecord& rec = records[i];
+        RecordCache& cache = recordCache_[i];
+        if (rec.kind != LinkRecord::Kind::Ejection) {
+            if (rec.kind == LinkRecord::Kind::InterRouter)
+                cache.from = &net_.router(rec.fromNode);
+            cache.to = &net_.router(rec.toNode);
+            cache.toXb = dynamic_cast<const router::CrossbarRouter*>(
+                cache.to);
+            cache.toCb =
+                dynamic_cast<const router::CentralBufferRouter*>(
+                    cache.to);
+        }
+    }
+    cacheBuilt_ = true;
+}
+
+void
 NetworkAuditor::auditFlitConservation() const
 {
+    if (!cacheBuilt_)
+        buildCache();
     const unsigned nodes = net_.topology().numNodes();
 
     // Per-router ledger: everything that ever arrived either left, is
@@ -133,8 +149,7 @@ NetworkAuditor::auditFlitConservation() const
 
         // Central-buffer pool bookkeeping: the consumed capacity must
         // equal physically present flits plus cut-through reservations.
-        if (const auto* cb =
-                dynamic_cast<const router::CentralBufferRouter*>(&r)) {
+        if (const auto* cb = cbRouter_[n]) {
             const unsigned capacity =
                 net_.params().centralBuffer.capacityFlits;
             ORION_CHECK(
@@ -174,15 +189,19 @@ NetworkAuditor::auditFlitConservation() const
 void
 NetworkAuditor::auditCreditAccounting() const
 {
-    for (const LinkRecord& rec : net_.linkRecords()) {
+    if (!cacheBuilt_)
+        buildCache();
+    const auto& records = net_.linkRecords();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const LinkRecord& rec = records[i];
         if (rec.kind == LinkRecord::Kind::Ejection)
             continue; // infinite sink: no credit loop to audit
+        const RecordCache& cache = recordCache_[i];
 
         const router::CreditCounter* counter =
             rec.kind == LinkRecord::Kind::Injection
                 ? &net_.endpoint(rec.fromNode).injectionCreditCounter()
-                : net_.router(rec.fromNode)
-                      .outputCreditCounter(rec.fromPort);
+                : cache.from->outputCreditCounter(rec.fromPort);
         ORION_CHECK(counter != nullptr,
                     "credit audit: node " << rec.fromNode << " port "
                                           << rec.fromPort
@@ -190,7 +209,7 @@ NetworkAuditor::auditCreditAccounting() const
         if (counter->unlimited())
             continue;
 
-        const router::Router& target = net_.router(rec.toNode);
+        const router::Router& target = *cache.to;
         for (unsigned vc = 0; vc < counter->vcs(); ++vc) {
             const unsigned credits = counter->available(vc);
             // Crossbar routers consume the output credit at SA, one
@@ -198,12 +217,18 @@ NetworkAuditor::auditCreditAccounting() const
             // sender's ST latch hold a claimed downstream slot.
             const std::size_t latched =
                 rec.kind == LinkRecord::Kind::InterRouter
-                    ? net_.router(rec.fromNode)
-                          .latchedForOutput(rec.fromPort, vc)
+                    ? cache.from->latchedForOutput(rec.fromPort, vc)
                     : 0;
             const unsigned on_data = dataFlitsOnVc(*rec.data, vc);
-            const std::size_t occupancy =
-                downstreamOccupancy(target, rec.toPort, vc);
+            std::size_t occupancy;
+            if (cache.toXb != nullptr) {
+                occupancy = cache.toXb->inputFifo(rec.toPort, vc).size();
+            } else {
+                ORION_CHECK(cache.toCb != nullptr && vc == 0,
+                            "credit audit: unknown router type or bad "
+                            "VC " << vc);
+                occupancy = cache.toCb->inputFifo(rec.toPort).size();
+            }
             const unsigned returning =
                 rec.credit != nullptr ? creditsOnVc(*rec.credit, vc)
                                       : 0;

@@ -37,6 +37,11 @@
 #include "net/power_monitor.hh"
 #include "sim/simulator.hh"
 
+namespace orion::router {
+class CrossbarRouter;
+class CentralBufferRouter;
+} // namespace orion::router
+
 namespace orion::net {
 
 /** Walks a Network and proves its bookkeeping consistent. */
@@ -75,10 +80,35 @@ class NetworkAuditor
     /** Flits held in a link's channel registers (current + staged). */
     static std::size_t flitsOnLink(const router::FlitLink& link);
 
+    /**
+     * Pre-resolved per-link-record pointers. The audits run every few
+     * hundred cycles over every link x VC, so the dynamic_casts and
+     * repeated router lookups are hoisted out of the walk; router
+     * objects are fixed for the network's lifetime, making the cache
+     * valid forever once built.
+     */
+    struct RecordCache
+    {
+        const router::Router* from = nullptr;
+        const router::Router* to = nullptr;
+        /** Downstream router as a crossbar router, or null. */
+        const router::CrossbarRouter* toXb = nullptr;
+        /** Downstream router as a CB router, or null. */
+        const router::CentralBufferRouter* toCb = nullptr;
+    };
+
+    /** Build recordCache_/cbRouter_ on first use. */
+    void buildCache() const;
+
     const Network& net_;
     const PowerMonitor* monitor_;
     /** Energy ledger snapshot from the previous audit. */
     std::vector<std::array<double, kNumComponentClasses>> lastEnergy_;
+    /** One entry per Network::linkRecords() element. */
+    mutable std::vector<RecordCache> recordCache_;
+    /** Per-node CB-router downcast (null for other router kinds). */
+    mutable std::vector<const router::CentralBufferRouter*> cbRouter_;
+    mutable bool cacheBuilt_ = false;
 };
 
 } // namespace orion::net

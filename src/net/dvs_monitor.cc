@@ -16,8 +16,12 @@ DvsLinkMonitor::DvsLinkMonitor(sim::EventBus& bus,
     for (std::size_t i = 1; i < policy_.thresholds.size(); ++i)
         assert(policy_.thresholds[i] < policy_.thresholds[i - 1]);
 
-    bus.subscribe(sim::EventType::LinkTraversal,
-                  [this](const sim::Event& ev) { onTraversal(ev); });
+    bus.subscribeRaw(
+        sim::EventType::LinkTraversal,
+        [](void* ctx, const sim::Event& ev) {
+            static_cast<DvsLinkMonitor*>(ctx)->onTraversal(ev);
+        },
+        this);
 }
 
 unsigned

@@ -106,7 +106,9 @@ Node::healRoute(std::shared_ptr<const router::PacketInfo>& pkt)
         return false;
     // PacketInfo is shared immutably with in-flight flits; replace the
     // route on a private clone.
-    auto clone = std::make_shared<router::PacketInfo>(*pkt);
+    std::shared_ptr<router::PacketInfo> clone =
+        shared_.packetPool.acquire();
+    *clone = *pkt;
     clone->route = std::move(*detour);
     pkt = std::move(clone);
     health_->noteReroute();
@@ -208,7 +210,9 @@ Node::retransmitStage(sim::Cycle now)
         // sample flag, route — recovery time counts toward latency)
         // as a fresh worm with a bumped attempt number, after a
         // backoff that doubles per attempt.
-        auto clone = std::make_shared<router::PacketInfo>(*pkt);
+        std::shared_ptr<router::PacketInfo> clone =
+            shared_.packetPool.acquire();
+        *clone = *pkt;
         clone->attempt = next;
         std::shared_ptr<const router::PacketInfo> resend =
             std::move(clone);
@@ -246,13 +250,19 @@ Node::generateStage(sim::Cycle now)
     if (!dst)
         return;
 
-    auto pkt = std::make_shared<router::PacketInfo>();
+    // Pooled allocation: a recycled PacketInfo keeps its old field
+    // values (and, usefully, its route vector's capacity), so every
+    // field is assigned here — including attempt, which make_shared
+    // used to zero via the default initializer.
+    std::shared_ptr<router::PacketInfo> pkt =
+        shared_.packetPool.acquire();
     pkt->id = shared_.nextPacketId++;
     pkt->src = node();
     pkt->dst = *dst;
     pkt->createdAt = now;
     pkt->length = packetLength_;
     pkt->sample = false;
+    pkt->attempt = 0;
     if (shared_.sampling && shared_.sampleRemaining > 0) {
         pkt->sample = true;
         --shared_.sampleRemaining;
@@ -263,7 +273,7 @@ Node::generateStage(sim::Cycle now)
     // Always draw the normal DOR route first so the RNG stream is
     // identical with and without rerouting enabled; only then check
     // it against the surviving topology.
-    pkt->route = routing_.route(node(), *dst, rng_);
+    routing_.routeInto(node(), *dst, rng_, pkt->route);
     bool unreachable = false;
     if (health_ && health_->degraded() &&
         !health_->routeHealthy(node(), pkt->route)) {

@@ -27,6 +27,7 @@
 #include "router/credit.hh"
 #include "router/link.hh"
 #include "sim/module.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -56,6 +57,12 @@ struct SharedState
     /** Latency distribution of sample packets (1-cycle bins up to
      * 4096 cycles, overflow beyond). */
     sim::Histogram sampleLatencyHist{1.0, 4096};
+    /**
+     * Shared PacketInfo recycler: at steady state every generated or
+     * cloned packet reuses the storage (and route-vector capacity) of
+     * one that finished, instead of a make_shared per packet.
+     */
+    sim::RecyclingPool<router::PacketInfo> packetPool;
 };
 
 /**

@@ -58,9 +58,15 @@ PowerMonitor::PowerMonitor(sim::EventBus& bus, PowerModelSet models,
     for (auto& node : energy_)
         node.fill(0.0);
 
+    // Raw subscription: the monitor sees millions of events per run,
+    // so dispatch must stay a direct function-pointer call.
     for (const auto type : kMonitoredEvents) {
-        bus.subscribe(type,
-                      [this](const sim::Event& ev) { onEvent(ev); });
+        bus.subscribeRaw(
+            type,
+            [](void* ctx, const sim::Event& ev) {
+                static_cast<PowerMonitor*>(ctx)->onEvent(ev);
+            },
+            this);
     }
 }
 

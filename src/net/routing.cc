@@ -29,8 +29,17 @@ DorRouting::defaultOrder(const Topology& topo)
 std::vector<router::RouteHop>
 DorRouting::route(int src, int dst, sim::Rng& rng) const
 {
-    assert(src != dst);
     std::vector<router::RouteHop> hops;
+    routeInto(src, dst, rng, hops);
+    return hops;
+}
+
+void
+DorRouting::routeInto(int src, int dst, sim::Rng& rng,
+                      std::vector<router::RouteHop>& hops) const
+{
+    assert(src != dst);
+    hops.clear();
 
     Coord cur = topo_.coordsOf(src);
     const Coord goal = topo_.coordsOf(dst);
@@ -82,7 +91,6 @@ DorRouting::route(int src, int dst, sim::Rng& rng) const
     // Ejection hop at the destination router.
     hops.push_back(router::RouteHop{
         static_cast<std::uint8_t>(topo_.localPort()), 0, false});
-    return hops;
 }
 
 } // namespace orion::net

@@ -75,6 +75,13 @@ class DorRouting
     std::vector<router::RouteHop> route(int src, int dst,
                                         sim::Rng& rng) const;
 
+    /**
+     * route() into a caller-provided vector (cleared first), reusing
+     * its capacity — the allocation-free path for pooled packets.
+     */
+    void routeInto(int src, int dst, sim::Rng& rng,
+                   std::vector<router::RouteHop>& hops) const;
+
   private:
     const Topology& topo_;
     std::vector<unsigned> dimOrder_;

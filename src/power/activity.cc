@@ -125,28 +125,4 @@ BitVec::maskTop()
         data()[words_ - 1] &= (std::uint64_t{1} << rem) - 1;
 }
 
-unsigned
-hammingDistance(const BitVec& a, const BitVec& b)
-{
-    assert(a.width() == b.width());
-    unsigned n = 0;
-    const std::uint64_t* wa = a.data();
-    const std::uint64_t* wb = b.data();
-    for (std::size_t i = 0; i < a.wordCount(); ++i)
-        n += std::popcount(wa[i] ^ wb[i]);
-    return n;
-}
-
-unsigned
-switchingWriteBitlines(const BitVec& new_data, const BitVec& last_written)
-{
-    return hammingDistance(new_data, last_written);
-}
-
-unsigned
-flippedCells(const BitVec& new_data, const BitVec& old_row)
-{
-    return hammingDistance(new_data, old_row);
-}
-
 } // namespace orion::power

@@ -14,6 +14,8 @@
 #define ORION_POWER_ACTIVITY_HH
 
 #include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 
@@ -89,8 +91,20 @@ class BitVec
 /**
  * Hamming distance between two equal-width bit vectors: the number of
  * wires that toggle when the datapath value changes from @p a to @p b.
+ * Inline: every buffer write/read and link traversal computes one of
+ * these, so the XOR/popcount loop sits on the cycle kernel's hot path.
  */
-unsigned hammingDistance(const BitVec& a, const BitVec& b);
+inline unsigned
+hammingDistance(const BitVec& a, const BitVec& b)
+{
+    assert(a.width() == b.width());
+    unsigned n = 0;
+    const std::uint64_t* wa = a.data();
+    const std::uint64_t* wb = b.data();
+    for (std::size_t i = 0; i < a.wordCount(); ++i)
+        n += static_cast<unsigned>(std::popcount(wa[i] ^ wb[i]));
+    return n;
+}
 
 /**
  * Number of switching write bitlines (delta_bw of Table 2).
@@ -99,14 +113,21 @@ unsigned hammingDistance(const BitVec& a, const BitVec& b);
  * when the bit being written differs from the value the write driver
  * held from the previous write.
  */
-unsigned switchingWriteBitlines(const BitVec& new_data,
-                                const BitVec& last_written);
+inline unsigned
+switchingWriteBitlines(const BitVec& new_data, const BitVec& last_written)
+{
+    return hammingDistance(new_data, last_written);
+}
 
 /**
  * Number of flipped memory cells (delta_bc of Table 2): bits of the new
  * datum that differ from the old contents of the target row.
  */
-unsigned flippedCells(const BitVec& new_data, const BitVec& old_row);
+inline unsigned
+flippedCells(const BitVec& new_data, const BitVec& old_row)
+{
+    return hammingDistance(new_data, old_row);
+}
 
 } // namespace orion::power
 

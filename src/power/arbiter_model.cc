@@ -59,6 +59,13 @@ ArbiterModel::ArbiterModel(const tech::TechNode& tech,
         queueFifo_ = std::make_unique<BufferModel>(
             tech, BufferParams{r, id_bits, 1, 1});
     }
+
+    // Cache the per-event energy terms: the capacitances are fixed and
+    // arbitrationEnergy runs once per arbitration, every cycle.
+    eReq_ = tech.switchEnergy(cReq_);
+    eInt_ = tech.switchEnergy(cInt_);
+    ePri_ = tech.switchEnergy(cPri_);
+    eGnt_ = tech.switchEnergy(cGnt_);
 }
 
 unsigned
@@ -84,10 +91,10 @@ ArbiterModel::arbitrationEnergy(unsigned delta_req,
     assert(delta_pri <= std::max(priorityFlipFlops(), 2u) ||
            params_.kind == ArbiterKind::Queuing);
 
-    const double e_req = tech_.switchEnergy(cReq_);
-    const double e_int = tech_.switchEnergy(cInt_);
-    const double e_pri = tech_.switchEnergy(cPri_);
-    const double e_gnt = tech_.switchEnergy(cGnt_);
+    const double e_req = eReq_;
+    const double e_int = eInt_;
+    const double e_pri = ePri_;
+    const double e_gnt = eGnt_;
 
     if (params_.kind == ArbiterKind::Queuing) {
         // A queuing arbitration is one FIFO read (pop the winner) plus

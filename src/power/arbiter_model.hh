@@ -116,6 +116,13 @@ class ArbiterModel
     double cPri_;
     double cInt_;
     double cGnt_;
+    /// @name Per-event energies cached at construction (joules).
+    /// @{
+    double eReq_;
+    double ePri_;
+    double eInt_;
+    double eGnt_;
+    /// @}
 };
 
 } // namespace orion::power

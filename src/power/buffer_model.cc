@@ -68,25 +68,29 @@ BufferModel::BufferModel(const tech::TechNode& tech,
     cCell_ = 2.0 * ports * cd(tech, t_p) + 2.0 * ca(tech, t_m);
 
     eAmp_ = tech.switchEnergy(kSenseAmpEquivCapF);
+
+    // Per-event energy terms, cached once: the capacitances above are
+    // fixed for the model's lifetime and read/write energies are
+    // evaluated millions of times per run.
+    eWl_ = tech.switchEnergy(cWl_);
+    eBw_ = tech.switchEnergy(cBw_);
+    eCell_ = tech.switchEnergy(cCell_);
+    const double e_br = tech.switchEnergy(cBr_);
+    const double e_chg = tech.switchEnergy(cChg_);
+    eRead_ = eWl_ + params.flitBits * (e_br + 2.0 * e_chg + eAmp_);
 }
 
 double
 BufferModel::readEnergy() const
 {
-    const double e_wl = tech_.switchEnergy(cWl_);
-    const double e_br = tech_.switchEnergy(cBr_);
-    const double e_chg = tech_.switchEnergy(cChg_);
-    return e_wl + params_.flitBits * (e_br + 2.0 * e_chg + eAmp_);
+    return eRead_;
 }
 
 double
 BufferModel::writeEnergy(unsigned delta_bw, unsigned delta_bc) const
 {
     assert(delta_bw <= params_.flitBits && delta_bc <= params_.flitBits);
-    const double e_wl = tech_.switchEnergy(cWl_);
-    const double e_bw = tech_.switchEnergy(cBw_);
-    const double e_cell = tech_.switchEnergy(cCell_);
-    return e_wl + delta_bw * e_bw + delta_bc * e_cell;
+    return eWl_ + delta_bw * eBw_ + delta_bc * eCell_;
 }
 
 double

@@ -119,6 +119,15 @@ class BufferModel
     double cChg_;
     double cCell_;
     double eAmp_;
+    /// @name Per-event energies cached at construction (joules) — the
+    /// capacitances never change, so the hot read/write queries reduce
+    /// to a load or a two-term dot product.
+    /// @{
+    double eWl_;
+    double eBw_;
+    double eCell_;
+    double eRead_;
+    /// @}
 };
 
 } // namespace orion::power

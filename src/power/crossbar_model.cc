@@ -98,6 +98,7 @@ CrossbarModel::CrossbarModel(const tech::TechNode& tech,
         cCtr_ = depth * (w * cg(tech, t_mux)) +
                 cw(tech, outLenUm_ / 2.0);
     }
+    eWire_ = tech.switchEnergy(cIn_) + tech.switchEnergy(cOut_);
 }
 
 double
@@ -113,8 +114,7 @@ double
 CrossbarModel::traversalEnergy(unsigned delta_bits) const
 {
     assert(delta_bits <= params_.width);
-    return delta_bits * (tech_.switchEnergy(cIn_) +
-                         tech_.switchEnergy(cOut_));
+    return delta_bits * eWire_;
 }
 
 double

@@ -114,6 +114,9 @@ class CrossbarModel
     double cIn_;
     double cOut_;
     double cCtr_;
+    /** switchEnergy(cIn_) + switchEnergy(cOut_), cached: the per-wire
+     * traversal energy evaluated once per crossbar transit. */
+    double eWire_;
 };
 
 } // namespace orion::power

@@ -17,13 +17,14 @@ OnChipLinkModel::OnChipLinkModel(const tech::TechNode& tech,
     const tech::Transistor drv = tech::sizeDriverForLoad(
         tech, tech::Role::CrossbarOutputDriver, wire);
     cWire_ = wire + tech::cd(tech, drv);
+    eWire_ = tech.switchEnergy(cWire_);
 }
 
 double
 OnChipLinkModel::traversalEnergy(unsigned delta_bits) const
 {
     assert(delta_bits <= width_);
-    return delta_bits * tech_.switchEnergy(cWire_);
+    return delta_bits * eWire_;
 }
 
 double

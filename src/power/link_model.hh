@@ -57,6 +57,8 @@ class OnChipLinkModel
     double lengthUm_;
     unsigned width_;
     double cWire_;
+    /** switchEnergy(cWire_), cached — one traversal per link cycle. */
+    double eWire_;
 };
 
 /** Traffic-insensitive constant-power chip-to-chip link. */

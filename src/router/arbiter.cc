@@ -1,12 +1,15 @@
 #include "router/arbiter.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace orion::router {
 
 Arbiter::Arbiter(unsigned requests)
-    : requests_(requests), lastReqs_(requests, false)
+    : requests_(requests),
+      reqWords_(wordsFor(requests), 0),
+      lastWords_(wordsFor(requests), 0)
 {
     assert(requests > 0);
 }
@@ -15,48 +18,73 @@ unsigned
 Arbiter::requestDelta(const std::vector<bool>& reqs)
 {
     assert(reqs.size() == requests_);
+    const std::size_t words = reqWords_.size();
+    for (std::size_t k = 0; k < words; ++k) {
+        const unsigned base = static_cast<unsigned>(k) * 64;
+        const unsigned top = std::min(requests_ - base, 64u);
+        std::uint64_t w = 0;
+        for (unsigned b = 0; b < top; ++b)
+            w |= static_cast<std::uint64_t>(reqs[base + b]) << b;
+        reqWords_[k] = w;
+    }
     unsigned delta = 0;
-    for (unsigned i = 0; i < requests_; ++i)
-        if (reqs[i] != lastReqs_[i])
-            ++delta;
-    lastReqs_ = reqs;
+    for (std::size_t k = 0; k < words; ++k) {
+        delta += static_cast<unsigned>(
+            std::popcount(reqWords_[k] ^ lastWords_[k]));
+        lastWords_[k] = reqWords_[k];
+    }
     return delta;
 }
 
 MatrixArbiter::MatrixArbiter(unsigned requests)
     : Arbiter(requests),
-      prio_(requests, std::vector<bool>(requests, false))
+      row_(requests * wordsFor(requests), 0),
+      col_(requests * wordsFor(requests), 0)
 {
     // Initial total order: lower index beats higher index.
-    for (unsigned i = 0; i < requests; ++i)
-        for (unsigned j = i + 1; j < requests; ++j)
-            prio_[i][j] = true;
+    const std::size_t words = wordsFor(requests);
+    for (unsigned i = 0; i < requests; ++i) {
+        for (unsigned j = i + 1; j < requests; ++j) {
+            row_[i * words + j / 64] |= std::uint64_t{1} << (j % 64);
+            col_[j * words + i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
 }
 
 bool
 MatrixArbiter::hasPriority(unsigned i, unsigned j) const
 {
     assert(i < requests_ && j < requests_ && i != j);
-    return prio_[i][j];
+    const std::size_t words = wordsFor(requests_);
+    return (row_[i * words + j / 64] >> (j % 64)) & 1;
 }
 
 ArbitrationResult
 MatrixArbiter::arbitrate(const std::vector<bool>& reqs)
 {
     const unsigned delta_req = requestDelta(reqs);
+    const std::vector<std::uint64_t>& req_words = reqWords();
+    const std::size_t words = req_words.size();
 
-    // grant_i = req_i AND no other pending request has priority over i.
+    // grant_i = req_i AND no other pending request has priority over i:
+    // one AND of the request set against i's beaten-by column. The
+    // matrix encodes a total order, so scanning requesters in index
+    // order finds the unique unbeaten one regardless of order.
     int winner = -1;
-    for (unsigned i = 0; i < requests_; ++i) {
-        if (!reqs[i])
-            continue;
-        bool beaten = false;
-        for (unsigned j = 0; j < requests_ && !beaten; ++j)
-            if (j != i && reqs[j] && prio_[j][i])
-                beaten = true;
-        if (!beaten) {
-            winner = static_cast<int>(i);
-            break;
+    for (std::size_t k = 0; k < words && winner < 0; ++k) {
+        std::uint64_t pending = req_words[k];
+        while (pending != 0) {
+            const unsigned i = static_cast<unsigned>(k) * 64 +
+                               std::countr_zero(pending);
+            pending &= pending - 1;
+            const std::uint64_t* beats = &col_[i * words];
+            std::uint64_t beaten = 0;
+            for (std::size_t m = 0; m < words; ++m)
+                beaten |= req_words[m] & beats[m];
+            if (beaten == 0) {
+                winner = static_cast<int>(i);
+                break;
+            }
         }
     }
     // The priority matrix encodes a total order, so an asserted request
@@ -67,15 +95,26 @@ MatrixArbiter::arbitrate(const std::vector<bool>& reqs)
 
     unsigned delta_pri = 0;
     if (winner >= 0) {
-        // Winner drops below everyone: row cleared, column set.
+        // Winner drops below everyone: its row empties into the rows
+        // and columns of every requester it used to beat (each such
+        // pair toggles two flip-flops of one priority bit).
         const auto w = static_cast<unsigned>(winner);
-        for (unsigned j = 0; j < requests_; ++j) {
-            if (j == w)
+        std::uint64_t* w_row = &row_[w * words];
+        std::uint64_t* w_col = &col_[w * words];
+        for (std::size_t k = 0; k < words; ++k) {
+            std::uint64_t lost = w_row[k];
+            if (lost == 0)
                 continue;
-            if (prio_[w][j]) {
-                prio_[w][j] = false;
-                prio_[j][w] = true;
-                ++delta_pri;
+            delta_pri += static_cast<unsigned>(std::popcount(lost));
+            w_col[k] |= lost;
+            w_row[k] = 0;
+            const std::uint64_t w_bit = std::uint64_t{1} << (w % 64);
+            while (lost != 0) {
+                const unsigned j = static_cast<unsigned>(k) * 64 +
+                                   std::countr_zero(lost);
+                lost &= lost - 1;
+                row_[j * words + w / 64] |= w_bit;
+                col_[j * words + w / 64] &= ~w_bit;
             }
         }
     }

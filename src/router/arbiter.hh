@@ -11,6 +11,7 @@
 #ifndef ORION_ROUTER_ARBITER_HH
 #define ORION_ROUTER_ARBITER_HH
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -56,14 +57,31 @@ class Arbiter
     virtual ArbitrationResult arbitrate(const std::vector<bool>& reqs) = 0;
 
   protected:
-    /** Hamming distance of @p reqs against the remembered request
-     * vector, which is then updated. */
+    /**
+     * Hamming distance of @p reqs against the remembered request
+     * vector, which is then updated. As a side effect the request
+     * vector is packed into reqWords() (64 requesters per word), the
+     * representation the arbitration inner loops run on.
+     */
     unsigned requestDelta(const std::vector<bool>& reqs);
+
+    /** @p reqs from the last requestDelta() call, bit-packed. */
+    const std::vector<std::uint64_t>& reqWords() const
+    {
+        return reqWords_;
+    }
+
+    /** 64-bit words needed for one bit per requester. */
+    static std::size_t wordsFor(unsigned requests)
+    {
+        return (requests + 63) / 64;
+    }
 
     unsigned requests_;
 
   private:
-    std::vector<bool> lastReqs_;
+    std::vector<std::uint64_t> reqWords_;
+    std::vector<std::uint64_t> lastWords_;
 };
 
 /**
@@ -83,9 +101,17 @@ class MatrixArbiter : public Arbiter
     bool hasPriority(unsigned i, unsigned j) const;
 
   private:
-    /** prio_[i][j]: i beats j. Full matrix kept for simplicity;
-     * antisymmetry is maintained as an invariant. */
-    std::vector<std::vector<bool>> prio_;
+    /**
+     * The priority matrix, bit-packed both ways so the grant scan is
+     * word-parallel: row_[i] holds the requesters i beats (bit j =
+     * prio[i][j]) and col_[i] the requesters that beat i (bit j =
+     * prio[j][i]). Antisymmetry is maintained as an invariant, making
+     * col_ the transpose of row_; it is kept materialized because the
+     * hot test "is any pending requester beating i" is one AND against
+     * col_[i].
+     */
+    std::vector<std::uint64_t> row_;
+    std::vector<std::uint64_t> col_;
 };
 
 /**

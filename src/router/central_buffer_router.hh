@@ -102,6 +102,10 @@ class CentralBufferRouter : public Router
     void writeStage(sim::Cycle now);
     void bwStage(sim::Cycle now);
 
+    /** True when nothing is buffered, pooled or admitted (the
+     * resident-state half of the skip-quiescent test). */
+    bool quiescent() const;
+
     CentralBufferRouterParams cb_;
 
     /** Input FIFOs, one per port. */

@@ -1,9 +1,5 @@
 #include "router/credit.hh"
 
-#include <limits>
-
-#include "core/check.hh"
-
 namespace orion::router {
 
 CreditCounter::CreditCounter(unsigned vcs, unsigned depth, bool unlimited)
@@ -11,29 +7,6 @@ CreditCounter::CreditCounter(unsigned vcs, unsigned depth, bool unlimited)
 {
     assert(vcs > 0);
     assert(unlimited || depth > 0);
-}
-
-unsigned
-CreditCounter::depth(unsigned vc) const
-{
-    assert(vc < depth_.size());
-    return depth_[vc];
-}
-
-unsigned
-CreditCounter::available(unsigned vc) const
-{
-    assert(vc < count_.size());
-    if (unlimited_)
-        return std::numeric_limits<unsigned>::max();
-    return count_[vc];
-}
-
-bool
-CreditCounter::empty(unsigned vc) const
-{
-    assert(vc < count_.size());
-    return unlimited_ || count_[vc] == depth_[vc];
 }
 
 unsigned
@@ -46,30 +19,6 @@ CreditCounter::emptyVcs() const
         if (count_[v] == depth_[v])
             ++n;
     return n;
-}
-
-void
-CreditCounter::consume(unsigned vc)
-{
-    assert(vc < count_.size());
-    if (unlimited_)
-        return;
-    ORION_CHECK(count_[vc] > 0,
-                "credit underflow: consume on exhausted VC " << vc
-                    << " (depth " << depth_[vc] << ")");
-    --count_[vc];
-}
-
-void
-CreditCounter::restore(unsigned vc)
-{
-    assert(vc < count_.size());
-    if (unlimited_)
-        return;
-    ORION_CHECK(count_[vc] < depth_[vc],
-                "credit overflow: restore beyond depth "
-                    << depth_[vc] << " on VC " << vc);
-    ++count_[vc];
 }
 
 void

@@ -17,7 +17,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "core/check.hh"
 
 namespace orion::router {
 
@@ -46,23 +49,60 @@ class CreditCounter
     bool unlimited() const { return unlimited_; }
 
     /** Downstream buffer depth of VC @p vc (audits). */
-    unsigned depth(unsigned vc) const;
+    unsigned
+    depth(unsigned vc) const
+    {
+        assert(vc < depth_.size());
+        return depth_[vc];
+    }
 
     /** Free slots available on downstream VC @p vc. */
-    unsigned available(unsigned vc) const;
+    unsigned
+    available(unsigned vc) const
+    {
+        assert(vc < count_.size());
+        if (unlimited_)
+            return std::numeric_limits<unsigned>::max();
+        return count_[vc];
+    }
 
     /** True if downstream VC @p vc is completely empty (all credits
      * present) — the atomic-VC-allocation condition. */
-    bool empty(unsigned vc) const;
+    bool
+    empty(unsigned vc) const
+    {
+        assert(vc < count_.size());
+        return unlimited_ || count_[vc] == depth_[vc];
+    }
 
     /** Number of completely empty downstream VCs (bubble-rule slots). */
     unsigned emptyVcs() const;
 
     /** Consume one credit (a flit was forwarded). */
-    void consume(unsigned vc);
+    void
+    consume(unsigned vc)
+    {
+        assert(vc < count_.size());
+        if (unlimited_)
+            return;
+        ORION_CHECK(count_[vc] > 0,
+                    "credit underflow: consume on exhausted VC "
+                        << vc << " (depth " << depth_[vc] << ")");
+        --count_[vc];
+    }
 
     /** Return one credit (downstream freed a slot). */
-    void restore(unsigned vc);
+    void
+    restore(unsigned vc)
+    {
+        assert(vc < count_.size());
+        if (unlimited_)
+            return;
+        ORION_CHECK(count_[vc] < depth_[vc],
+                    "credit overflow: restore beyond depth "
+                        << depth_[vc] << " on VC " << vc);
+        ++count_[vc];
+    }
 
     /**
      * Test-only corruption hook: silently steal one credit from

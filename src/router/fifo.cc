@@ -1,6 +1,7 @@
 #include "router/fifo.hh"
 
-#include <cassert>
+#include <algorithm>
+#include <utility>
 
 #include "core/check.hh"
 
@@ -17,6 +18,25 @@ FlitFifo::FlitFifo(sim::EventBus& bus, int node, int component,
       lastWritten_(flit_bits)
 {
     assert(capacity > 0 && flit_bits > 0);
+}
+
+void
+FlitFifo::grow()
+{
+    // Deep buffers (central-queue presets run hundreds of flits) would
+    // waste memory if every VC preallocated its full depth, so the
+    // ring starts empty and doubles toward capacity_ as occupancy
+    // actually demands it. Rebuild in front-to-back order so head_
+    // restarts at slot 0.
+    const std::size_t want =
+        std::min(capacity_, std::max<std::size_t>(4, slots_.size() * 2));
+    std::vector<Flit> bigger;
+    bigger.reserve(want);
+    for (std::size_t i = 0; i < count_; ++i)
+        bigger.push_back(std::move(slots_[(head_ + i) % slots_.size()]));
+    bigger.resize(want);
+    slots_ = std::move(bigger);
+    head_ = 0;
 }
 
 void
@@ -38,14 +58,13 @@ FlitFifo::write(Flit flit, sim::Cycle now)
 
     bus_.emit({sim::EventType::BufferWrite, node_, component_, delta_bw,
                delta_bc, now});
-    queue_.push_back(std::move(flit));
-}
-
-const Flit&
-FlitFifo::front() const
-{
-    assert(!empty());
-    return queue_.front();
+    if (count_ == slots_.size())
+        grow();
+    std::size_t tail = head_ + count_;
+    if (tail >= slots_.size())
+        tail -= slots_.size();
+    slots_[tail] = std::move(flit);
+    ++count_;
 }
 
 Flit
@@ -54,8 +73,11 @@ FlitFifo::read(sim::Cycle now)
     ORION_CHECK(!empty(), "FIFO underflow: read from empty buffer at "
                               << "node " << node_ << " component "
                               << component_);
-    Flit f = std::move(queue_.front());
-    queue_.pop_front();
+    Flit f = std::move(slots_[head_]);
+    ++head_;
+    if (head_ == slots_.size())
+        head_ = 0;
+    --count_;
     bus_.emit({sim::EventType::BufferRead, node_, component_, 0, 0, now});
     return f;
 }

@@ -15,8 +15,8 @@
 #ifndef ORION_ROUTER_FIFO_HH
 #define ORION_ROUTER_FIFO_HH
 
+#include <cassert>
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "power/activity.hh"
@@ -40,10 +40,10 @@ class FlitFifo
              std::size_t capacity, unsigned flit_bits);
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return queue_.size(); }
-    bool empty() const { return queue_.empty(); }
-    bool full() const { return queue_.size() >= capacity_; }
-    std::size_t freeSlots() const { return capacity_ - queue_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= capacity_; }
+    std::size_t freeSlots() const { return capacity_ - count_; }
 
     /**
      * Write @p flit into the tail slot; emits BufferWrite with the
@@ -52,7 +52,12 @@ class FlitFifo
     void write(Flit flit, sim::Cycle now);
 
     /** The flit at the head (must not be empty). */
-    const Flit& front() const;
+    const Flit&
+    front() const
+    {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
 
     /**
      * Pop and return the head flit; emits BufferRead.
@@ -60,13 +65,28 @@ class FlitFifo
     Flit read(sim::Cycle now);
 
   private:
+    /** Enlarge the ring (it grows geometrically up to capacity_). */
+    void grow();
+
     sim::EventBus& bus_;
     int node_;
     int component_;
     std::size_t capacity_;
     unsigned flitBits_;
 
-    std::deque<Flit> queue_;
+    /**
+     * Ring of flit slots, grown on demand up to capacity_. Slots are
+     * assigned (not reallocated) on every write, so a FIFO that has
+     * warmed up recycles its Flit storage with no heap traffic — this
+     * is the flit arena: per-(port, VC) reusable slots instead of
+     * deque node churn.
+     */
+    std::vector<Flit> slots_;
+    /** Index of the front flit within slots_. */
+    std::size_t head_ = 0;
+    /** Buffered flit count. */
+    std::size_t count_ = 0;
+
     /** Stale contents of each SRAM row (ring-indexed). */
     std::vector<power::BitVec> rowContents_;
     /** Row the next write lands in. */

@@ -37,6 +37,8 @@ Router::connectInput(unsigned port, FlitLink* in,
     assert(port < params_.ports);
     inLinks_[port] = in;
     creditReturnLinks_[port] = credit_return;
+    if (in)
+        in->setWakeFlag(&inputPending_);
 }
 
 void
@@ -47,6 +49,8 @@ Router::connectOutput(unsigned port, FlitLink* out,
     assert(port < params_.ports);
     outLinks_[port] = out;
     creditInLinks_[port] = credit_in;
+    if (credit_in)
+        credit_in->setWakeFlag(&inputPending_);
     outputCredits_[port] = std::make_unique<CreditCounter>(
         downstream_vcs, unlimited ? 1 : downstream_depth, unlimited);
 }
@@ -122,6 +126,7 @@ Router::sendCreditUpstream(unsigned port, unsigned vc, sim::Cycle now)
     if (faultHooks_ &&
         (!pendingCredits_[port].empty() || ch->staged())) {
         pendingCredits_[port].push_back(credit);
+        ++pendingCreditTotal_;
         return;
     }
     ch->send(credit, bus_, now);
@@ -141,6 +146,7 @@ Router::drainPendingCredits(sim::Cycle now)
             continue;
         ch->send(q.front(), bus_, now);
         q.pop_front();
+        --pendingCreditTotal_;
     }
 }
 

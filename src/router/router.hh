@@ -328,6 +328,21 @@ class Router : public sim::Module
 
     FaultHooks* faultHooks_ = nullptr;
 
+    /**
+     * Raised by every attached input channel (flit inputs and credit
+     * returns) when a message becomes readable; cleared at the top of
+     * an active cycle. Routers combine it with their resident-state
+     * counters for the skip-quiescent fast path: a router with no
+     * buffered flits, no latched outputs, no deferred credits and no
+     * raised wake flag can skip its cycle entirely — nothing it would
+     * compute or emit differs from not running at all.
+     */
+    bool inputPending_ = false;
+
+    /** Deferred upstream credits across all ports (size of the
+     * pendingCredits_ queues; part of the quiescence test). */
+    std::size_t pendingCreditTotal_ = 0;
+
   private:
     /** Drop-until-tail state per (input port, VC): set when a worm's
      * head (or an upstream poison substitute) is killed so the rest of

@@ -1,6 +1,7 @@
 #include "router/vc_router.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace orion::router {
@@ -21,20 +22,16 @@ CrossbarRouter::CrossbarRouter(std::string name, int node,
       vaReqs_((params.ports - 1) * params.vcs, false)
 {
     assert(va_enabled || params.vcs == 1);
+    assert(params.ports <= 64 && "saStage output bitmask is 64-wide");
 
-    fifos_.resize(params.ports);
-    vcState_.resize(params.ports);
-    outVcBusy_.resize(params.ports);
-    for (unsigned p = 0; p < params.ports; ++p) {
-        fifos_[p].reserve(params.vcs);
-        for (unsigned v = 0; v < params.vcs; ++v) {
-            fifos_[p].emplace_back(bus, node,
-                                   static_cast<int>(p * params.vcs + v),
-                                   params.bufferDepth, params.flitBits);
-        }
-        vcState_[p].resize(params.vcs);
-        outVcBusy_[p].assign(params.vcs, false);
+    const unsigned n_vcs = params.ports * params.vcs;
+    fifos_.reserve(n_vcs);
+    for (unsigned i = 0; i < n_vcs; ++i) {
+        fifos_.emplace_back(bus, node, static_cast<int>(i),
+                            params.bufferDepth, params.flitBits);
     }
+    vcState_.resize(n_vcs);
+    outVcBusy_.assign(n_vcs, 0);
 
     saArb_.reserve(params.ports);
     for (unsigned o = 0; o < params.ports; ++o)
@@ -42,15 +39,10 @@ CrossbarRouter::CrossbarRouter(std::string name, int node,
                                      params.ports - 1));
 
     if (vaEnabled_) {
-        vaArb_.resize(params.ports);
         const unsigned va_reqs = (params.ports - 1) * params.vcs;
-        for (unsigned o = 0; o < params.ports; ++o) {
-            vaArb_[o].reserve(params.vcs);
-            for (unsigned v = 0; v < params.vcs; ++v) {
-                vaArb_[o].push_back(
-                    makeArbiter(params.arbiterKind, va_reqs));
-            }
-        }
+        vaArb_.reserve(n_vcs);
+        for (unsigned i = 0; i < n_vcs; ++i)
+            vaArb_.push_back(makeArbiter(params.arbiterKind, va_reqs));
     }
 }
 
@@ -58,23 +50,22 @@ const FlitFifo&
 CrossbarRouter::inputFifo(unsigned port, unsigned vc) const
 {
     assert(port < params_.ports && vc < params_.vcs);
-    return fifos_[port][vc];
+    return fifos_[vcIndex(port, vc)];
 }
 
 bool
 CrossbarRouter::outVcBusy(unsigned port, unsigned vc) const
 {
     assert(port < params_.ports && vc < params_.vcs);
-    return outVcBusy_[port][vc];
+    return outVcBusy_[vcIndex(port, vc)] != 0;
 }
 
 std::size_t
 CrossbarRouter::bufferedFlits() const
 {
     std::size_t n = 0;
-    for (const auto& port : fifos_)
-        for (const auto& fifo : port)
-            n += fifo.size();
+    for (const auto& fifo : fifos_)
+        n += fifo.size();
     return n;
 }
 
@@ -108,7 +99,7 @@ void
 CrossbarRouter::debugDropFlit(unsigned port, unsigned vc)
 {
     assert(port < params_.ports && vc < params_.vcs);
-    FlitFifo& fifo = fifos_[port][vc];
+    FlitFifo& fifo = fifoAt(port, vc);
     assert(!fifo.empty());
     // Keep the fast-path occupancy counters consistent so only the
     // conservation ledger — not internal bookkeeping — goes wrong.
@@ -122,8 +113,8 @@ CrossbarRouter::vcWaitState(unsigned port, unsigned vc,
                             VcWaitState& out) const
 {
     assert(port < params_.ports && vc < params_.vcs);
-    const FlitFifo& fifo = fifos_[port][vc];
-    const VcState& st = vcState_[port][vc];
+    const FlitFifo& fifo = fifos_[vcIndex(port, vc)];
+    const VcState& st = vcState_[vcIndex(port, vc)];
     out = VcWaitState{};
     out.hasFront = !fifo.empty();
     out.phase = static_cast<int>(st.phase);
@@ -156,7 +147,7 @@ CrossbarRouter::poisonBlockedWorm(unsigned port, unsigned vc,
     assert(port < params_.ports && vc < params_.vcs);
     if (!faultHooks_)
         return false;
-    FlitFifo& fifo = fifos_[port][vc];
+    FlitFifo& fifo = fifoAt(port, vc);
     // Only a VC whose front is a worm head can be poisoned cleanly:
     // nothing of this attempt is buffered downstream, so discarding
     // the local run plus arming drop-until-tail for the in-flight
@@ -165,11 +156,11 @@ CrossbarRouter::poisonBlockedWorm(unsigned port, unsigned vc,
     // so the chain of body-front VCs terminates at a head-front one).
     if (fifo.empty() || !fifo.front().head)
         return false;
-    VcState& st = vcState_[port][vc];
+    VcState& st = vcStateAt(port, vc);
     const auto pkt = fifo.front().packet;
     const unsigned attempt = pkt->attempt;
     if (st.phase == VcState::Phase::Active)
-        outVcBusy_[st.outPort][st.outVc] = false;
+        outVcBusy_[vcIndex(st.outPort, st.outVc)] = false;
     st.reset();
     faultHooks_->onPacketKilled(pkt, now);
     // Discard the contiguous buffered run of this attempt, returning
@@ -201,6 +192,18 @@ CrossbarRouter::poisonBlockedWorm(unsigned port, unsigned vc,
 void
 CrossbarRouter::cycle(sim::Cycle now)
 {
+    // Skip-quiescent fast path: with no buffered flits, no occupied
+    // ST latch, no deferred credits and no message readable on any
+    // input (flit or credit — the links' wake flags cover both), every
+    // stage below is a no-op that emits nothing and mutates nothing,
+    // so the cycle can be skipped without changing any observable
+    // state. At low load most routers idle most cycles; this turns
+    // their cost into four scalar tests.
+    if (!inputPending_ && totalFlits_ == 0 && latchedCount_ == 0 &&
+        pendingCreditTotal_ == 0) {
+        return;
+    }
+    inputPending_ = false;
     receiveCredits();
     drainPendingCredits(now);
     stStage(now);
@@ -230,6 +233,7 @@ CrossbarRouter::stStage(sim::Cycle now)
             continue;
         StEntry entry = std::move(*stLatch_[o]);
         stLatch_[o].reset();
+        --latchedCount_;
         xbar_.traverse(entry.inPort, o, entry.flit, now);
         assert(outLinks_[o] && "flit routed to unconnected output");
         outLinks_[o]->send(std::move(entry.flit), bus_, now);
@@ -255,10 +259,10 @@ CrossbarRouter::pickCandidate(unsigned p)
         return std::nullopt;
     for (unsigned k = 0; k < params_.vcs; ++k) {
         const unsigned v = (rrNextVc_[p] + k) % params_.vcs;
-        FlitFifo& fifo = fifos_[p][v];
+        FlitFifo& fifo = fifoAt(p, v);
         if (fifo.empty())
             continue;
-        VcState& st = vcState_[p][v];
+        VcState& st = vcStateAt(p, v);
         const Flit& front = fifo.front();
 
         if (st.phase == VcState::Phase::Active) {
@@ -281,7 +285,7 @@ CrossbarRouter::pickCandidate(unsigned p)
             const RouteHop& hop = front.routeHop();
             const unsigned o = hop.port;
             assert(o != p && "u-turn in route");
-            if (outVcBusy_[o][0])
+            if (outVcBusy_[vcIndex(o, 0)])
                 continue;
             const unsigned need =
                 requiredSpace(true, hop.newRing, o);
@@ -301,29 +305,35 @@ CrossbarRouter::saStage(sim::Cycle now)
 
     auto& cand = saCand_;
     unsigned requesters = 0;
+    // Outputs with at least one candidate, as a bitmask (ports is
+    // 2 * dims + 1, far below 64): the arbitration loop below then
+    // visits only contested outputs — usually one — instead of
+    // scanning every port's candidates for every output.
+    std::uint64_t out_pending = 0;
     for (unsigned p = 0; p < ports; ++p) {
         cand[p] = pickCandidate(p);
-        if (cand[p])
+        if (cand[p]) {
             ++requesters;
+            out_pending |= std::uint64_t{1} << cand[p]->outPort;
+        }
     }
     unsigned granted = 0;
 
-    for (unsigned o = 0; o < ports; ++o) {
+    while (out_pending != 0) {
+        const unsigned o =
+            static_cast<unsigned>(std::countr_zero(out_pending));
+        out_pending &= out_pending - 1;
         // A port-stall fault leaves the ST latch occupied; don't
         // arbitrate for an output that can't accept a new flit.
         if (stLatch_[o])
             continue;
         auto& reqs = saReqs_;
         std::fill(reqs.begin(), reqs.end(), false);
-        bool any = false;
         for (unsigned p = 0; p < ports; ++p) {
             if (p == o || !cand[p] || cand[p]->outPort != o)
                 continue;
             reqs[saRequester(p, o)] = true;
-            any = true;
         }
-        if (!any)
-            continue;
 
         const ArbitrationResult res = saArb_[o]->arbitrate(reqs);
         assert(res.winner >= 0);
@@ -336,20 +346,20 @@ CrossbarRouter::saStage(sim::Cycle now)
         if (p >= o)
             ++p;
         const Candidate& c = *cand[p];
-        VcState& st = vcState_[p][c.vc];
+        VcState& st = vcStateAt(p, c.vc);
 
         if (c.claimOnGrant) {
             // Wormhole: the head claims the output for the packet.
-            assert(!outVcBusy_[o][c.outVc]);
-            const RouteHop& hop = fifos_[p][c.vc].front().routeHop();
+            assert(!outVcBusy_[vcIndex(o, c.outVc)]);
+            const RouteHop& hop = fifoAt(p, c.vc).front().routeHop();
             st.phase = VcState::Phase::Active;
             st.outPort = hop.port;
             st.outVc = static_cast<std::uint8_t>(c.outVc);
             st.newRing = hop.newRing;
-            outVcBusy_[o][c.outVc] = true;
+            outVcBusy_[vcIndex(o, c.outVc)] = true;
         }
 
-        Flit flit = fifos_[p][c.vc].read(now);
+        Flit flit = fifoAt(p, c.vc).read(now);
         --portFlits_[p];
         --totalFlits_;
         outputCredits_[o]->consume(c.outVc);
@@ -360,12 +370,13 @@ CrossbarRouter::saStage(sim::Cycle now)
             ++flit.hop;
 
         if (flit.tail) {
-            outVcBusy_[o][st.outVc] = false;
+            outVcBusy_[vcIndex(o, st.outVc)] = false;
             st.reset();
         }
 
         assert(!stLatch_[o]);
         stLatch_[o] = StEntry{std::move(flit), p};
+        ++latchedCount_;
         rrNextVc_[p] = (c.vc + 1) % params_.vcs;
         ++granted;
     }
@@ -385,8 +396,8 @@ CrossbarRouter::vaStage(sim::Cycle now)
         if (portFlits_[p] == 0)
             continue;
         for (unsigned v = 0; v < vcs; ++v) {
-            VcState& st = vcState_[p][v];
-            const FlitFifo& fifo = fifos_[p][v];
+            VcState& st = vcStateAt(p, v);
+            const FlitFifo& fifo = fifoAt(p, v);
             if (st.phase != VcState::Phase::Idle || fifo.empty() ||
                 !fifo.front().head) {
                 continue;
@@ -418,7 +429,7 @@ CrossbarRouter::vaStage(sim::Cycle now)
         if (portFlits_[p] == 0)
             continue;
         for (unsigned v = 0; v < vcs; ++v) {
-            VcState& st = vcState_[p][v];
+            VcState& st = vcStateAt(p, v);
             if (st.phase != VcState::Phase::WaitingVc)
                 continue;
             const auto [first, last] = classVcRange(st.vcClass);
@@ -427,7 +438,7 @@ CrossbarRouter::vaStage(sim::Cycle now)
             const unsigned o = st.outPort;
             for (unsigned k = 0; k < span; ++k) {
                 const unsigned ov = first + (vaScan_[o] + k) % span;
-                if (outVcBusy_[o][ov])
+                if (outVcBusy_[vcIndex(o, ov)])
                     continue;
                 if (bubble && !isLocalPort(o) &&
                     !outputCredits_[o]->empty(ov)) {
@@ -445,8 +456,10 @@ CrossbarRouter::vaStage(sim::Cycle now)
     const auto free_slots = [&](unsigned o) {
         unsigned n = 0;
         for (unsigned ov = 0; ov < vcs; ++ov) {
-            if (!outVcBusy_[o][ov] && outputCredits_[o]->empty(ov))
+            if (!outVcBusy_[vcIndex(o, ov)] &&
+                outputCredits_[o]->empty(ov)) {
                 ++n;
+            }
         }
         return n;
     };
@@ -467,7 +480,7 @@ CrossbarRouter::vaStage(sim::Cycle now)
                     continue;
                 auto& candidates = bids[o * vcs + ov];
                 std::erase_if(candidates, [&](const auto& bid) {
-                    return vcState_[bid.first][bid.second].newRing &&
+                    return vcStateAt(bid.first, bid.second).newRing &&
                            remaining < 2;
                 });
                 if (candidates.empty())
@@ -479,7 +492,7 @@ CrossbarRouter::vaStage(sim::Cycle now)
             for (const auto& [p, v] : bids[o * vcs + ov])
                 reqs[vaRequester(p, v, o)] = true;
             const ArbitrationResult res =
-                vaArb_[o][ov]->arbitrate(reqs);
+                vaArb_[vcIndex(o, ov)]->arbitrate(reqs);
             assert(res.winner >= 0);
             bus_.emit({sim::EventType::VcAllocation, node(),
                        static_cast<int>(o * vcs + ov), res.deltaReq,
@@ -491,11 +504,11 @@ CrossbarRouter::vaStage(sim::Cycle now)
             const unsigned v = w % vcs;
             if (p >= o)
                 ++p;
-            VcState& st = vcState_[p][v];
+            VcState& st = vcStateAt(p, v);
             assert(st.phase == VcState::Phase::WaitingVc);
             st.phase = VcState::Phase::Active;
             st.outVc = static_cast<std::uint8_t>(ov);
-            outVcBusy_[o][ov] = true;
+            outVcBusy_[vcIndex(o, ov)] = true;
             granted_any = true;
         }
         if (granted_any)
@@ -516,9 +529,9 @@ CrossbarRouter::bwStage(sim::Cycle now)
             continue;
         }
         assert(flit.vc < params_.vcs);
-        assert(!fifos_[p][flit.vc].full() &&
+        assert(!fifoAt(p, flit.vc).full() &&
                "credit discipline violated: buffer overflow");
-        fifos_[p][flit.vc].write(std::move(flit), now);
+        fifoAt(p, flit.vc).write(std::move(flit), now);
         ++portFlits_[p];
         ++totalFlits_;
         ++flitsArrived_;

@@ -125,19 +125,41 @@ class CrossbarRouter : public Router
         return saRequester(p, o) * params_.vcs + v;
     }
 
+    /// @name Struct-of-arrays per-VC state
+    /// All [port][vc] state lives in flat arrays indexed
+    /// port * vcs + vc, so the allocation stages' scans (every VC of
+    /// every port, each cycle) walk contiguous memory instead of
+    /// chasing an outer vector of inner vectors.
+    /// @{
+    unsigned
+    vcIndex(unsigned p, unsigned v) const
+    {
+        return p * params_.vcs + v;
+    }
+
+    FlitFifo& fifoAt(unsigned p, unsigned v)
+    {
+        return fifos_[vcIndex(p, v)];
+    }
+    VcState& vcStateAt(unsigned p, unsigned v)
+    {
+        return vcState_[vcIndex(p, v)];
+    }
+    /// @}
+
     bool vaEnabled_;
     CrossbarSwitch xbar_;
 
-    /** Input buffers, [port][vc]. */
-    std::vector<std::vector<FlitFifo>> fifos_;
-    /** Input VC control state, [port][vc]. */
-    std::vector<std::vector<VcState>> vcState_;
-    /** Output VC occupancy, [port][vc]. */
-    std::vector<std::vector<bool>> outVcBusy_;
+    /** Input buffers, flattened [port * vcs + vc]. */
+    std::vector<FlitFifo> fifos_;
+    /** Input VC control state, flattened [port * vcs + vc]. */
+    std::vector<VcState> vcState_;
+    /** Output VC occupancy, flattened [port * vcs + vc] (0/1). */
+    std::vector<std::uint8_t> outVcBusy_;
     /** Per-output switch arbiter (R = ports-1, u-turn excluded). */
     std::vector<std::unique_ptr<Arbiter>> saArb_;
-    /** Per-output-VC allocation arbiter, [port][vc]. */
-    std::vector<std::vector<std::unique_ptr<Arbiter>>> vaArb_;
+    /** Per-output-VC allocation arbiter, flattened [port * vcs + vc]. */
+    std::vector<std::unique_ptr<Arbiter>> vaArb_;
     /** Round-robin VC scan start per input port. */
     std::vector<unsigned> rrNextVc_;
     /** Rotating free-VC scan start per output port. */
@@ -149,6 +171,8 @@ class CrossbarRouter : public Router
     std::vector<unsigned> portFlits_;
     /** Total buffered flits (fast idle-router skip). */
     unsigned totalFlits_ = 0;
+    /** Occupied SA -> ST latches (fast idle-router skip). */
+    unsigned latchedCount_ = 0;
 
     /// @name Per-cycle workspaces (members to avoid re-allocation)
     /// @{

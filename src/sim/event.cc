@@ -2,25 +2,28 @@
 
 namespace orion::sim {
 
+namespace {
+
+/** Trampoline dispatching a boxed std::function listener. */
+void
+invokeListener(void* ctx, const Event& ev)
+{
+    (*static_cast<EventBus::Listener*>(ctx))(ev);
+}
+
+} // namespace
+
 void
 EventBus::subscribe(EventType type, Listener fn)
 {
-    listeners_[static_cast<unsigned>(type)].push_back(std::move(fn));
+    owned_.push_back(std::make_unique<Listener>(std::move(fn)));
+    subscribeRaw(type, &invokeListener, owned_.back().get());
 }
 
 void
-EventBus::emit(const Event& ev)
+EventBus::subscribeRaw(EventType type, RawHandler fn, void* ctx)
 {
-    const unsigned idx = static_cast<unsigned>(ev.type);
-    ++counts_[idx];
-    for (auto& fn : listeners_[idx])
-        fn(ev);
-}
-
-std::uint64_t
-EventBus::emittedCount(EventType type) const
-{
-    return counts_[static_cast<unsigned>(type)];
+    handlers_[static_cast<unsigned>(type)].push_back({fn, ctx});
 }
 
 const char*

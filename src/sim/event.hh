@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace orion::sim {
@@ -90,23 +91,60 @@ struct Event
 /**
  * Synchronous publish/subscribe bus. emit() dispatches to all
  * listeners of the event's type immediately, in subscription order.
+ *
+ * Dispatch is a flat loop over preresolved {function pointer, context}
+ * pairs — no std::function indirection on the hot path. Hot listeners
+ * (the power monitor, telemetry) subscribe through subscribeRaw();
+ * std::function listeners are boxed once at subscription time and
+ * dispatched through a trampoline, so both kinds share one handler
+ * array and fire in subscription order. A type with no subscribers
+ * costs one counter increment and an empty-loop test per emit.
  */
 class EventBus
 {
   public:
     using Listener = std::function<void(const Event&)>;
 
+    /** Preresolved handler: @p ctx is the subscriber instance. */
+    using RawHandler = void (*)(void* ctx, const Event& ev);
+
     /** Subscribe @p fn to all events of type @p type. */
     void subscribe(EventType type, Listener fn);
 
+    /**
+     * Subscribe a raw handler to @p type. @p fn must outlive the bus
+     * (it is typically a static trampoline into @p ctx's member
+     * function); no ownership is taken of @p ctx.
+     */
+    void subscribeRaw(EventType type, RawHandler fn, void* ctx);
+
     /** Publish @p ev to all subscribers of its type. */
-    void emit(const Event& ev);
+    void
+    emit(const Event& ev)
+    {
+        const unsigned idx = static_cast<unsigned>(ev.type);
+        ++counts_[idx];
+        for (const Handler& h : handlers_[idx])
+            h.fn(h.ctx, ev);
+    }
 
     /** Total events emitted, by type (includes unsubscribed types). */
-    std::uint64_t emittedCount(EventType type) const;
+    std::uint64_t
+    emittedCount(EventType type) const
+    {
+        return counts_[static_cast<unsigned>(type)];
+    }
 
   private:
-    std::array<std::vector<Listener>, kNumEventTypes> listeners_;
+    struct Handler
+    {
+        RawHandler fn;
+        void* ctx;
+    };
+
+    std::array<std::vector<Handler>, kNumEventTypes> handlers_;
+    /** Boxed std::function listeners (stable addresses for ctx). */
+    std::vector<std::unique_ptr<Listener>> owned_;
     std::array<std::uint64_t, kNumEventTypes> counts_{};
 };
 

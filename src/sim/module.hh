@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/event.hh"
 
@@ -56,12 +57,22 @@ class Module
     int node_;
 };
 
+class ChannelBase;
+
 /**
  * A 1-cycle registered wire carrying at most one message per cycle.
  *
  * The producer calls write() during its cycle() evaluation; the
  * consumer sees the message via read() during the *next* cycle, after
  * the simulator advances all channels at the cycle boundary.
+ *
+ * Channels registered with a Simulator are advanced by write
+ * scheduling: write() appends the channel to the simulator's
+ * pending-advance list, so the cycle boundary touches only channels
+ * that actually carry a message instead of walking every wire in the
+ * network. A consumer-side wake flag (setWakeFlag) is raised whenever
+ * a message becomes readable, giving consumers a cheap "anything
+ * new?" test for idle fast paths.
  */
 template <typename T>
 class Channel
@@ -73,6 +84,8 @@ class Channel
     {
         assert(!staged_.has_value() && "channel written twice in a cycle");
         staged_ = std::move(msg);
+        if (advanceQueue_)
+            advanceQueue_->push_back(advanceSelf_);
     }
 
     /** True if a message is available this cycle. */
@@ -111,10 +124,33 @@ class Channel
                "channel overrun: message not consumed");
         current_ = std::move(staged_);
         staged_.reset();
+        if (wakeFlag_)
+            *wakeFlag_ = true;
     }
 
     /** True if something was staged this cycle (producer-side query). */
     bool staged() const { return staged_.has_value(); }
+
+    /**
+     * Raise @p flag whenever a message becomes readable on this
+     * channel. Consumers with an idle fast path (quiescent routers)
+     * register a wake flag on every input so skipping a cycle can
+     * never strand an in-flight message.
+     */
+    void setWakeFlag(bool* flag) { wakeFlag_ = flag; }
+
+    /**
+     * Attach this channel to a simulator's pending-advance list
+     * (called via ChannelBase::scheduleWith; @p self is the channel's
+     * registered identity). Once attached, only written channels are
+     * advanced at cycle boundaries.
+     */
+    void
+    setAdvanceQueue(std::vector<ChannelBase*>* queue, ChannelBase* self)
+    {
+        advanceQueue_ = queue;
+        advanceSelf_ = self;
+    }
 
     /// @name Audit-only introspection (net::NetworkAuditor)
     /// @{
@@ -136,6 +172,11 @@ class Channel
   private:
     std::optional<T> staged_;
     std::optional<T> current_;
+    /** Simulator pending-advance list this channel enqueues on. */
+    std::vector<ChannelBase*>* advanceQueue_ = nullptr;
+    ChannelBase* advanceSelf_ = nullptr;
+    /** Consumer wake flag raised when a message becomes readable. */
+    bool* wakeFlag_ = nullptr;
 };
 
 /** Type-erased hook for the simulator to advance channels. */
@@ -144,6 +185,19 @@ class ChannelBase
   public:
     virtual ~ChannelBase() = default;
     virtual void advanceChannel() = 0;
+
+    /**
+     * Opt into write-scheduled advancing: enqueue on @p queue at each
+     * write and be advanced only then. Returns false when the channel
+     * kind does not support scheduling (the simulator then advances it
+     * unconditionally every cycle).
+     */
+    virtual bool
+    scheduleWith(std::vector<ChannelBase*>* queue)
+    {
+        (void)queue;
+        return false;
+    }
 };
 
 /** Adapter registering a Channel<T> with the simulator. */
@@ -152,6 +206,13 @@ class RegisteredChannel : public ChannelBase, public Channel<T>
 {
   public:
     void advanceChannel() override { this->advance(); }
+
+    bool
+    scheduleWith(std::vector<ChannelBase*>* queue) override
+    {
+        this->setAdvanceQueue(queue, this);
+        return true;
+    }
 };
 
 } // namespace orion::sim

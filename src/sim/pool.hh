@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Recycling object pool for shared_ptr-managed hot-path objects.
+ *
+ * Packet metadata (router::PacketInfo) is allocated once per packet
+ * and freed when the last flit referencing it dies — at steady state
+ * that is one heap allocation and one deallocation per packet, plus
+ * the route vector each carries. The pool replaces that churn with a
+ * free list: a released object (route capacity and all) is parked and
+ * handed back out by the next acquire().
+ *
+ * Lifetime: handed-out pointers carry a deleter that owns a
+ * shared_ptr to the pool's internal state, so objects released after
+ * the RecyclingPool itself is gone still land in a live free list
+ * (which is then dropped with the last of them). A recycled object is
+ * NOT reset — the caller must reassign every field, which
+ * Node::generateStage does anyway; the payoff is that its route
+ * vector keeps its capacity.
+ *
+ * Events need no such treatment: sim::Event is a trivially copyable
+ * value passed by reference through EventBus::emit and never heap
+ * allocated.
+ */
+
+#ifndef ORION_SIM_POOL_HH
+#define ORION_SIM_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace orion::sim {
+
+/** Free-list recycler for shared_ptr-managed T objects. */
+template <typename T>
+class RecyclingPool
+{
+  public:
+    RecyclingPool() : state_(std::make_shared<State>()) {}
+
+    /**
+     * Hand out an object: the most recently released one if any is
+     * parked, otherwise a freshly constructed one. Recycled objects
+     * keep their previous field values — assign every field before
+     * use.
+     */
+    std::shared_ptr<T> acquire()
+    {
+        State& st = *state_;
+        std::unique_ptr<T> owner;
+        if (!st.free.empty()) {
+            owner = std::move(st.free.back());
+            st.free.pop_back();
+            ++st.recycled;
+        } else {
+            owner = std::make_unique<T>();
+            ++st.allocated;
+        }
+        // If the shared_ptr constructor itself fails to allocate its
+        // control block it invokes the deleter, which parks the object
+        // back on the free list — nothing leaks, nothing double-frees.
+        const Recycler recycler{state_};
+        return std::shared_ptr<T>(owner.release(), recycler);
+    }
+
+    /// @name Introspection (tests)
+    /// @{
+    /** Objects constructed over the pool's lifetime. */
+    std::uint64_t allocatedCount() const { return state_->allocated; }
+    /** acquire() calls served from the free list. */
+    std::uint64_t recycledCount() const { return state_->recycled; }
+    /** Objects currently parked and available for reuse. */
+    std::size_t freeCount() const { return state_->free.size(); }
+    /** Objects currently handed out (alive shared_ptrs). */
+    std::uint64_t liveCount() const
+    {
+        return state_->allocated + state_->recycled - state_->returned;
+    }
+    /// @}
+
+  private:
+    struct State
+    {
+        std::vector<std::unique_ptr<T>> free;
+        std::uint64_t allocated = 0;
+        std::uint64_t recycled = 0;
+        std::uint64_t returned = 0;
+    };
+
+    struct Recycler
+    {
+        std::shared_ptr<State> state;
+
+        void operator()(T* object) const
+        {
+            std::unique_ptr<T> owner(object);
+            ++state->returned;
+            // push_back can only fail by throwing bad_alloc, in which
+            // case `owner` frees the object instead of parking it.
+            state->free.push_back(std::move(owner));
+        }
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace orion::sim
+
+#endif // ORION_SIM_POOL_HH

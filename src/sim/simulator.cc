@@ -13,7 +13,13 @@ Simulator::add(Module* m)
 void
 Simulator::addChannel(ChannelBase* c)
 {
-    channels_.push_back(c);
+    // Write-scheduled channels enqueue themselves on pendingAdvance_
+    // when written; anything else keeps the advance-every-cycle
+    // contract. pendingAdvance_'s address must stay stable for the
+    // simulator's lifetime (channels capture it), which holds because
+    // Simulator is neither copyable nor movable.
+    if (!c->scheduleWith(&pendingAdvance_))
+        alwaysAdvance_.push_back(c);
 }
 
 void
@@ -42,8 +48,16 @@ Simulator::step()
 {
     for (auto* m : modules_)
         m->cycle(now_);
-    for (auto* c : channels_)
+    // Advance order equals write order (deterministic: modules run in
+    // registration order), and each advance touches only its own
+    // channel, so scheduling preserves the all-channels semantics
+    // exactly while the boundary cost scales with messages in flight
+    // rather than wires in the network.
+    for (auto* c : alwaysAdvance_)
         c->advanceChannel();
+    for (auto* c : pendingAdvance_)
+        c->advanceChannel();
+    pendingAdvance_.clear();
     ++now_;
     // Audits observe the post-advance state: every channel's staged
     // slot is empty, so in-flight messages are exactly the current

@@ -110,7 +110,12 @@ class Simulator
 
     EventBus bus_;
     std::vector<Module*> modules_;
-    std::vector<ChannelBase*> channels_;
+    /** Channels written this cycle, awaiting their boundary advance
+     * (write-scheduled; see Channel::setAdvanceQueue). */
+    std::vector<ChannelBase*> pendingAdvance_;
+    /** Channels that opted out of write scheduling: advanced every
+     * cycle, the pre-scheduling behaviour. */
+    std::vector<ChannelBase*> alwaysAdvance_;
     std::vector<Audit> audits_;
     std::vector<Periodic> periodics_;
     Cycle auditInterval_ = 0;

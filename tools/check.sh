@@ -13,10 +13,13 @@
 #                cost on the disabled baseline (sampled must stay
 #                under 2%; tracing is reported but not gated — it is
 #                an opt-in debugging mode)
-#   5. lint:     tools/orion_lint.py, plus clang-tidy when installed
+#   5. kernel:   bench/kernel_speed serial flits/sec vs the committed
+#                BENCH_kernel.json — fails on a >10% regression on
+#                either reference config (vc16, k16n2)
+#   6. lint:     tools/orion_lint.py, plus clang-tidy when installed
 #
 # Usage: tools/check.sh [--tier1-only|--asan-only|--tsan-only|
-#                        --overhead-only|--lint-only]
+#                        --overhead-only|--kernel-only|--lint-only]
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -125,6 +128,35 @@ print(f"  sampled (1k cycles) {sampled:+.1f}%")
 print(f"  sampled + traced    {traced:+.1f}%  (opt-in, not gated)")
 if sampled >= 2.0:
     sys.exit(f"FAIL: sampled telemetry overhead {sampled:.1f}% >= 2%")
+EOF
+fi
+
+if run_leg kernel; then
+    echo "== kernel: serial flits/sec vs committed BENCH_kernel.json =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j "$jobs" --target kernel_speed
+    kernel_dir="$root/build/overhead"
+    mkdir -p "$kernel_dir"
+    # kernel_speed is internally best-of-ORION_REPS; 5 reps tames the
+    # ±5% run-to-run noise observed on shared runners.
+    ORION_REPS=5 ORION_BENCH_JSON="$kernel_dir/kernel_now.json" \
+        ORION_KERNEL_BASELINE="$root/BENCH_kernel.json" \
+        "$root/build/bench/kernel_speed"
+    python3 - "$kernel_dir/kernel_now.json" "$root/BENCH_kernel.json" <<'EOF'
+import json, sys
+now = json.load(open(sys.argv[1]))["configs"]
+ref = json.load(open(sys.argv[2]))["configs"]
+fail = []
+for name, r in ref.items():
+    cur = now[name]["flits_per_s"]
+    base = r["flits_per_s"]
+    delta = 100.0 * (cur - base) / base
+    print(f"  {name:6s} {cur/1e6:.3f} Mflits/s vs committed "
+          f"{base/1e6:.3f} ({delta:+.1f}%)")
+    if delta < -10.0:
+        fail.append(f"{name} regressed {delta:.1f}% (> 10% threshold)")
+if fail:
+    sys.exit("FAIL: " + "; ".join(fail))
 EOF
 fi
 
