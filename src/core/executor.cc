@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <utility>
 
 namespace orion::core {
 
@@ -18,11 +17,12 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock, [this] { return pending_ == 0; });
+        LockGuard lock(mutex_);
+        while (pending_ != 0)
+            allDone_.wait(mutex_);
         stopping_ = true;
     }
-    workAvailable_.notify_all();
+    workAvailable_.notifyAll();
     for (auto& t : threads_)
         t.join();
 }
@@ -31,24 +31,26 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         assert(!stopping_);
         queue_.push(std::move(task));
         ++pending_;
     }
-    workAvailable_.notify_one();
+    workAvailable_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return pending_ == 0; });
-    if (firstError_) {
-        const std::exception_ptr e = std::exchange(firstError_, nullptr);
-        lock.unlock();
-        std::rethrow_exception(e);
+    std::exception_ptr error;
+    {
+        LockGuard lock(mutex_);
+        while (pending_ != 0)
+            allDone_.wait(mutex_);
+        error = std::exchange(firstError_, nullptr);
     }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -57,9 +59,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workAvailable_.wait(
-                lock, [this] { return stopping_ || !queue_.empty(); });
+            LockGuard lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                workAvailable_.wait(mutex_);
             if (queue_.empty())
                 return; // stopping_ with a drained queue
             task = std::move(queue_.front());
@@ -72,12 +74,12 @@ ThreadPool::workerLoop()
             error = std::current_exception();
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             if (error && !firstError_)
                 firstError_ = error;
             --pending_;
         }
-        allDone_.notify_all();
+        allDone_.notifyAll();
     }
 }
 

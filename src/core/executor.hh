@@ -6,21 +6,28 @@
  * owns its Network, Simulator, and RNG stream — so the executor only
  * has to hand out independent indices and join. Determinism is the
  * callers' contract: workers write results into preallocated,
- * index-addressed slots, so the merged output is the same no matter
- * which worker finishes first.
+ * index-addressed slots (see WorkerSlots), so the merged output is
+ * the same no matter which worker finishes first.
+ *
+ * All cross-thread state is annotated for Clang's thread-safety
+ * analysis (core/annotations.hh): the work queue and its bookkeeping
+ * are ORION_GUARDED_BY(mutex_), and `-Wthread-safety` (an error in
+ * the analysis CI leg) rejects any new access path that forgets the
+ * lock.
  */
 
 #ifndef ORION_CORE_EXECUTOR_HH
 #define ORION_CORE_EXECUTOR_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "core/sync.hh"
 
 namespace orion::core {
 
@@ -42,7 +49,7 @@ class ThreadPool
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /** Enqueue @p task for execution on some worker. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) ORION_EXCLUDES(mutex_);
 
     /**
      * Block until every submitted task has finished. If any task
@@ -50,21 +57,69 @@ class ThreadPool
      * processing order, not a deterministic pick among concurrent
      * failures).
      */
-    void wait();
+    void wait() ORION_EXCLUDES(mutex_);
 
     unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
 
   private:
-    void workerLoop();
+    void workerLoop() ORION_EXCLUDES(mutex_);
 
-    std::vector<std::thread> threads_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable workAvailable_;
-    std::condition_variable allDone_;
-    std::size_t pending_ = 0; // queued + currently running tasks
-    bool stopping_ = false;
-    std::exception_ptr firstError_;
+    /** Worker handles: written only by the constructor, joined only
+     * by the destructor after every worker has exited its loop. */
+    std::vector<std::thread> threads_; // analyze-allow: unguarded -- ctor-write, dtor-join only
+
+    core::Mutex mutex_;
+    std::queue<std::function<void()>> queue_ ORION_GUARDED_BY(mutex_);
+    CondVar workAvailable_;
+    CondVar allDone_;
+    /** Queued + currently running tasks. */
+    std::size_t pending_ ORION_GUARDED_BY(mutex_) = 0;
+    bool stopping_ ORION_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ ORION_GUARDED_BY(mutex_);
+};
+
+/**
+ * Index-addressed result capture for parallelFor regions. Each worker
+ * writes only the slots for the indices it was handed, so slots need
+ * no lock — but that contract used to be invisible to tooling. The
+ * slots are guarded by a zero-cost Role: every access site (worker
+ * writes, post-join merge) must name the capability, so when
+ * intra-sim parallelism restructures the fan-out, the capture paths
+ * are already enumerated and machine-checked.
+ */
+template <typename T>
+class WorkerSlots
+{
+  public:
+    explicit WorkerSlots(std::size_t count) : slots_(count) {}
+
+    WorkerSlots(const WorkerSlots&) = delete;
+    WorkerSlots& operator=(const WorkerSlots&) = delete;
+
+    /** The capability guarding the slots (acquire via RoleGuard). */
+    const Role& role() const ORION_RETURN_CAPABILITY(role_)
+    {
+        return role_;
+    }
+
+    /** Slot @p i; workers touch only indices they were assigned. */
+    T&
+    slot(std::size_t i) ORION_REQUIRES(role_)
+    {
+        return slots_[i];
+    }
+
+    /** Surrender the filled slots after the parallel region joined. */
+    std::vector<T>
+    take() &&
+    {
+        RoleGuard guard(role_);
+        return std::move(slots_);
+    }
+
+  private:
+    core::Role role_;
+    std::vector<T> slots_ ORION_GUARDED_BY(role_);
 };
 
 /**

@@ -92,18 +92,23 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
                  const SimConfig& sim, const std::vector<double>& rates,
                  const SweepOptions& opts)
 {
-    std::vector<SweepPoint> points(rates.size());
+    // Index-addressed capture: worker i writes only slot i, so the
+    // merged vector is independent of completion order. WorkerSlots
+    // makes that contract a checked capability instead of a comment.
+    core::WorkerSlots<SweepPoint> points(rates.size());
     core::parallelFor(opts.jobs, rates.size(), [&](std::size_t i) {
-        points[i].injectionRate = rates[i];
+        core::RoleGuard guard(points.role());
+        SweepPoint& p = points.slot(i);
+        p.injectionRate = rates[i];
         CellResult cell = runPoint(network, traffic, sim, rates[i], i,
                                    0, /*capture_telemetry=*/true);
-        points[i].report = std::move(cell.report);
-        points[i].failure = std::move(cell.failure);
-        points[i].attempts = cell.attempts;
-        points[i].metricsCsv = std::move(cell.metricsCsv);
-        points[i].traceJson = std::move(cell.traceJson);
+        p.report = std::move(cell.report);
+        p.failure = std::move(cell.failure);
+        p.attempts = cell.attempts;
+        p.metricsCsv = std::move(cell.metricsCsv);
+        p.traceJson = std::move(cell.traceJson);
     });
-    return points;
+    return std::move(points).take();
 }
 
 std::vector<AveragedPoint>
@@ -118,14 +123,17 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
     // Fan out over the flattened (rate, seed) grid — finer-grained
     // than per-rate fan-out, so a few rates with many seeds still
     // saturate the pool.
-    std::vector<CellResult> grid(rates.size() * num_seeds);
+    core::WorkerSlots<CellResult> cells(rates.size() * num_seeds);
     core::parallelFor(
-        opts.jobs, grid.size(), [&](std::size_t cell) {
+        opts.jobs, rates.size() * num_seeds, [&](std::size_t cell) {
             const std::size_t i = cell / num_seeds;
             const unsigned k = static_cast<unsigned>(cell % num_seeds);
-            grid[cell] = runPoint(network, traffic, sim, rates[i], i,
-                                  k, /*capture_telemetry=*/true);
+            core::RoleGuard guard(cells.role());
+            cells.slot(cell) = runPoint(network, traffic, sim,
+                                        rates[i], i, k,
+                                        /*capture_telemetry=*/true);
         });
+    std::vector<CellResult> grid = std::move(cells).take();
 
     // Deterministic merge: aggregate each rate's seeds in seed order,
     // on the calling thread, so the floating-point accumulation order

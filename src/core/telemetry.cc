@@ -27,12 +27,14 @@ MetricsRegistry::add(MetricKind kind, std::string name, Reader read)
         throw std::invalid_argument("telemetry: duplicate metric '" +
                                     name + "'");
     }
+    const core::RoleGuard guard(serial_);
     metrics_.push_back({kind, std::move(name), std::move(read)});
 }
 
 std::size_t
 MetricsRegistry::find(const std::string& name) const
 {
+    const core::RoleGuard guard(serial_);
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
         if (metrics_[i].name == name)
             return i;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.hh"
 #include "sim/event.hh"
 
 namespace orion::telemetry {
@@ -83,15 +84,32 @@ class MetricsRegistry
         add(MetricKind::Gauge, std::move(name), std::move(read));
     }
 
-    std::size_t size() const { return metrics_.size(); }
-    const std::string& name(std::size_t i) const
+    std::size_t
+    size() const
     {
+        const core::RoleGuard guard(serial_);
+        return metrics_.size();
+    }
+    const std::string&
+    name(std::size_t i) const
+    {
+        const core::RoleGuard guard(serial_);
         return metrics_[i].name;
     }
-    MetricKind kind(std::size_t i) const { return metrics_[i].kind; }
+    MetricKind
+    kind(std::size_t i) const
+    {
+        const core::RoleGuard guard(serial_);
+        return metrics_[i].kind;
+    }
 
     /** Current value of metric @p i. */
-    double read(std::size_t i) const { return metrics_[i].read(); }
+    double
+    read(std::size_t i) const
+    {
+        const core::RoleGuard guard(serial_);
+        return metrics_[i].read();
+    }
 
     /** Index of the metric named @p name, or npos. */
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -105,7 +123,14 @@ class MetricsRegistry
         Reader read;
     };
 
-    std::vector<Metric> metrics_;
+    /**
+     * Registration happens in Network wiring order and reads happen at
+     * sample boundaries — one serialization domain, never concurrent.
+     * The Role makes every touch point explicit (and zero-cost) so
+     * partitioned-router sampling can later swap it for a real lock.
+     */
+    core::Role serial_;
+    std::vector<Metric> metrics_ ORION_GUARDED_BY(serial_);
 };
 
 /** Telemetry knobs carried by SimConfig (all defaults = disabled). */

@@ -56,6 +56,7 @@ NetworkAuditor::NetworkAuditor(const Network& network,
                                const PowerMonitor* monitor)
     : net_(network), monitor_(monitor)
 {
+    const core::RoleGuard guard(auditRole_);
     if (monitor_ != nullptr)
         lastEnergy_ = monitor_->energyLedger();
 }
@@ -124,6 +125,7 @@ NetworkAuditor::buildCache() const
 void
 NetworkAuditor::auditFlitConservation() const
 {
+    const core::RoleGuard guard(auditRole_);
     if (!cacheBuilt_)
         buildCache();
     const unsigned nodes = net_.topology().numNodes();
@@ -189,6 +191,7 @@ NetworkAuditor::auditFlitConservation() const
 void
 NetworkAuditor::auditCreditAccounting() const
 {
+    const core::RoleGuard guard(auditRole_);
     if (!cacheBuilt_)
         buildCache();
     const auto& records = net_.linkRecords();
@@ -261,6 +264,7 @@ NetworkAuditor::auditEnergyAccounting()
 {
     ORION_CHECK(monitor_ != nullptr,
                 "energy audit invoked without a power monitor");
+    const core::RoleGuard guard(auditRole_);
     const auto& ledger = monitor_->energyLedger();
     const bool have_baseline = lastEnergy_.size() == ledger.size();
 
@@ -304,6 +308,7 @@ NetworkAuditor::auditEnergyAccounting()
 void
 NetworkAuditor::resetEnergyBaseline()
 {
+    const core::RoleGuard guard(auditRole_);
     if (monitor_ != nullptr)
         lastEnergy_ = monitor_->energyLedger();
     else

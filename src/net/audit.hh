@@ -33,6 +33,7 @@
 #include <array>
 #include <vector>
 
+#include "core/sync.hh"
 #include "net/network.hh"
 #include "net/power_monitor.hh"
 #include "sim/simulator.hh"
@@ -64,9 +65,9 @@ class NetworkAuditor
 
     /// @name Individual audits (throw core::CheckFailure on violation)
     /// @{
-    void auditFlitConservation() const;
-    void auditCreditAccounting() const;
-    void auditEnergyAccounting();
+    void auditFlitConservation() const ORION_EXCLUDES(auditRole_);
+    void auditCreditAccounting() const ORION_EXCLUDES(auditRole_);
+    void auditEnergyAccounting() ORION_EXCLUDES(auditRole_);
     /// @}
 
     /**
@@ -74,7 +75,7 @@ class NetworkAuditor
      * PowerMonitor::reset() (measurement-window start), which
      * legitimately rewinds the counters.
      */
-    void resetEnergyBaseline();
+    void resetEnergyBaseline() ORION_EXCLUDES(auditRole_);
 
   private:
     /** Flits held in a link's channel registers (current + staged). */
@@ -98,17 +99,30 @@ class NetworkAuditor
     };
 
     /** Build recordCache_/cbRouter_ on first use. */
-    void buildCache() const;
+    void buildCache() const ORION_REQUIRES(auditRole_);
 
     const Network& net_;
     const PowerMonitor* monitor_;
+    /**
+     * The ledgers below mutate under `const` (lazy cache fill, energy
+     * baseline rollover) — exactly the state a reader would wrongly
+     * assume is safe to share across audit threads. The Role makes the
+     * hidden writes explicit: every audit entry point acquires it, so
+     * concurrent audits of one auditor are structurally excluded and
+     * clang's analysis proves it (see docs/QUALITY.md, "Static
+     * analysis").
+     */
+    mutable core::Role auditRole_;
     /** Energy ledger snapshot from the previous audit. */
-    std::vector<std::array<double, kNumComponentClasses>> lastEnergy_;
+    std::vector<std::array<double, kNumComponentClasses>> lastEnergy_
+        ORION_GUARDED_BY(auditRole_);
     /** One entry per Network::linkRecords() element. */
-    mutable std::vector<RecordCache> recordCache_;
+    mutable std::vector<RecordCache> recordCache_
+        ORION_GUARDED_BY(auditRole_);
     /** Per-node CB-router downcast (null for other router kinds). */
-    mutable std::vector<const router::CentralBufferRouter*> cbRouter_;
-    mutable bool cacheBuilt_ = false;
+    mutable std::vector<const router::CentralBufferRouter*> cbRouter_
+        ORION_GUARDED_BY(auditRole_);
+    mutable bool cacheBuilt_ ORION_GUARDED_BY(auditRole_) = false;
 };
 
 } // namespace orion::net

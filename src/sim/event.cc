@@ -16,13 +16,19 @@ invokeListener(void* ctx, const Event& ev)
 void
 EventBus::subscribe(EventType type, Listener fn)
 {
-    owned_.push_back(std::make_unique<Listener>(std::move(fn)));
-    subscribeRaw(type, &invokeListener, owned_.back().get());
+    Listener* boxed = nullptr;
+    {
+        const core::RoleGuard guard(serial_);
+        owned_.push_back(std::make_unique<Listener>(std::move(fn)));
+        boxed = owned_.back().get();
+    }
+    subscribeRaw(type, &invokeListener, boxed);
 }
 
 void
 EventBus::subscribeRaw(EventType type, RawHandler fn, void* ctx)
 {
+    const core::RoleGuard guard(serial_);
     handlers_[static_cast<unsigned>(type)].push_back({fn, ctx});
 }
 

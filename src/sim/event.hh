@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/sync.hh"
+
 namespace orion::sim {
 
 /** Simulation time in cycles. */
@@ -99,6 +101,18 @@ struct Event
  * dispatched through a trampoline, so both kinds share one handler
  * array and fire in subscription order. A type with no subscribers
  * costs one counter increment and an empty-loop test per emit.
+ *
+ * Phase discipline: a bus has a registration phase (Network wiring +
+ * Simulation setup, handler arrays mutate) followed by a dispatch
+ * phase (the run, handler arrays are read-only and only the emit
+ * counters move). Both phases touch the same state from exactly one
+ * thread — today the whole Simulation is single-threaded, and under
+ * intra-sim parallelism registration stays on the coordinating
+ * thread. The `serial_` Role capability makes that discipline
+ * machine-checked at zero runtime cost: every handler-array or
+ * counter access must hold the role, so when partitioned routers
+ * start emitting, the access points that must become concurrency-safe
+ * (or stay coordinator-only) are already enumerated.
  */
 class EventBus
 {
@@ -113,8 +127,10 @@ class EventBus
 
     /**
      * Subscribe a raw handler to @p type. @p fn must outlive the bus
-     * (it is typically a static trampoline into @p ctx's member
-     * function); no ownership is taken of @p ctx.
+     * (it is a static trampoline — a captureless lambda or a
+     * file-static function — into @p ctx's member function; the
+     * orion_analyze `raw-subscribe` rule enforces this); no ownership
+     * is taken of @p ctx.
      */
     void subscribeRaw(EventType type, RawHandler fn, void* ctx);
 
@@ -122,6 +138,7 @@ class EventBus
     void
     emit(const Event& ev)
     {
+        const core::RoleGuard guard(serial_);
         const unsigned idx = static_cast<unsigned>(ev.type);
         ++counts_[idx];
         for (const Handler& h : handlers_[idx])
@@ -132,6 +149,7 @@ class EventBus
     std::uint64_t
     emittedCount(EventType type) const
     {
+        const core::RoleGuard guard(serial_);
         return counts_[static_cast<unsigned>(type)];
     }
 
@@ -142,10 +160,15 @@ class EventBus
         void* ctx;
     };
 
-    std::array<std::vector<Handler>, kNumEventTypes> handlers_;
+    /** Registration-then-dispatch serialization domain (see above). */
+    core::Role serial_;
+    std::array<std::vector<Handler>, kNumEventTypes> handlers_
+        ORION_GUARDED_BY(serial_);
     /** Boxed std::function listeners (stable addresses for ctx). */
-    std::vector<std::unique_ptr<Listener>> owned_;
-    std::array<std::uint64_t, kNumEventTypes> counts_{};
+    std::vector<std::unique_ptr<Listener>> owned_
+        ORION_GUARDED_BY(serial_);
+    std::array<std::uint64_t, kNumEventTypes> counts_
+        ORION_GUARDED_BY(serial_){};
 };
 
 /** Human-readable name of an event type (for reports/tests). */

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/sync.hh"
+
 namespace orion::sim {
 
 /** Free-list recycler for shared_ptr-managed T objects. */
@@ -48,6 +50,7 @@ class RecyclingPool
     std::shared_ptr<T> acquire()
     {
         State& st = *state_;
+        const core::RoleGuard guard(st.serial);
         std::unique_ptr<T> owner;
         if (!st.free.empty()) {
             owner = std::move(st.free.back());
@@ -67,25 +70,50 @@ class RecyclingPool
     /// @name Introspection (tests)
     /// @{
     /** Objects constructed over the pool's lifetime. */
-    std::uint64_t allocatedCount() const { return state_->allocated; }
-    /** acquire() calls served from the free list. */
-    std::uint64_t recycledCount() const { return state_->recycled; }
-    /** Objects currently parked and available for reuse. */
-    std::size_t freeCount() const { return state_->free.size(); }
-    /** Objects currently handed out (alive shared_ptrs). */
-    std::uint64_t liveCount() const
+    std::uint64_t
+    allocatedCount() const
     {
-        return state_->allocated + state_->recycled - state_->returned;
+        const core::RoleGuard guard(state_->serial);
+        return state_->allocated;
+    }
+    /** acquire() calls served from the free list. */
+    std::uint64_t
+    recycledCount() const
+    {
+        const core::RoleGuard guard(state_->serial);
+        return state_->recycled;
+    }
+    /** Objects currently parked and available for reuse. */
+    std::size_t
+    freeCount() const
+    {
+        const core::RoleGuard guard(state_->serial);
+        return state_->free.size();
+    }
+    /** Objects currently handed out (alive shared_ptrs). */
+    std::uint64_t
+    liveCount() const
+    {
+        const core::RoleGuard guard(state_->serial);
+        return state_->allocated + state_->recycled -
+               state_->returned;
     }
     /// @}
 
   private:
+    /**
+     * The shared free list. One pool serves one Simulation today;
+     * under intra-sim parallelism (ROADMAP 1b) partitions will either
+     * get per-thread pools or this Role becomes a Mutex — either way
+     * every touch point below is already capability-checked.
+     */
     struct State
     {
-        std::vector<std::unique_ptr<T>> free;
-        std::uint64_t allocated = 0;
-        std::uint64_t recycled = 0;
-        std::uint64_t returned = 0;
+        core::Role serial;
+        std::vector<std::unique_ptr<T>> free ORION_GUARDED_BY(serial);
+        std::uint64_t allocated ORION_GUARDED_BY(serial) = 0;
+        std::uint64_t recycled ORION_GUARDED_BY(serial) = 0;
+        std::uint64_t returned ORION_GUARDED_BY(serial) = 0;
     };
 
     struct Recycler
@@ -95,6 +123,7 @@ class RecyclingPool
         void operator()(T* object) const
         {
             std::unique_ptr<T> owner(object);
+            const core::RoleGuard guard(state->serial);
             ++state->returned;
             // push_back can only fail by throwing bad_alloc, in which
             // case `owner` frees the object instead of parking it.

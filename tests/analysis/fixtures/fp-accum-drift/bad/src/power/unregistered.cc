@@ -1,0 +1,13 @@
+// Fixture: accumulation chain with no baseline entry at all.
+namespace demo {
+
+double
+total(const double* values, int count)
+{
+    double sum = 0.0;
+    for (int i = 0; i < count; ++i)
+        sum += values[i] * 0.5;
+    return sum;
+}
+
+} // namespace demo

@@ -1,0 +1,14 @@
+// Fixture: accumulation chain matching the registered baseline
+// (tools/analyze_baseline.json, produced by --update-baselines).
+namespace demo {
+
+double
+accumulate(const double* values, int count)
+{
+    double energy = 0.0;
+    for (int i = 0; i < count; ++i)
+        energy += values[i];
+    return energy;
+}
+
+} // namespace demo

@@ -1,0 +1,39 @@
+// Fixture: subscribeRaw with a capturing lambda and with a handler
+// that is not a trampoline in this translation unit.
+namespace demo {
+
+enum class EventType
+{
+    Tick,
+};
+
+struct Event
+{
+    int cycle;
+};
+
+struct EventBus
+{
+    using RawHandler = void (*)(void*, const Event&);
+    void subscribeRaw(EventType type, RawHandler fn, void* ctx);
+};
+
+void onTickExternal(void* ctx, const Event& ev);
+
+class Monitor
+{
+  public:
+    explicit Monitor(EventBus& bus)
+    {
+        bus.subscribeRaw(
+            EventType::Tick,
+            [this](void*, const Event& ev) { ticks_ += ev.cycle; },
+            nullptr);
+        bus.subscribeRaw(EventType::Tick, &onTickExternal, this);
+    }
+
+  private:
+    long ticks_ = 0;
+};
+
+} // namespace demo

@@ -1,0 +1,51 @@
+// Fixture: the two accepted subscribeRaw shapes — a captureless
+// lambda, and an anonymous-namespace trampoline.
+namespace demo {
+
+enum class EventType
+{
+    Tick,
+};
+
+struct Event
+{
+    int cycle;
+};
+
+struct EventBus
+{
+    using RawHandler = void (*)(void*, const Event&);
+    void subscribeRaw(EventType type, RawHandler fn, void* ctx);
+};
+
+class Monitor;
+
+namespace {
+
+void
+forwardTick(void* ctx, const demo::Event& ev)
+{
+    static_cast<long*>(ctx)[0] += ev.cycle;
+}
+
+} // namespace
+
+class Monitor
+{
+  public:
+    explicit Monitor(EventBus& bus)
+    {
+        bus.subscribeRaw(
+            EventType::Tick,
+            [](void* ctx, const Event& ev) {
+                static_cast<Monitor*>(ctx)->ticks_ += ev.cycle;
+            },
+            this);
+        bus.subscribeRaw(EventType::Tick, &forwardTick, &ticks_);
+    }
+
+  private:
+    long ticks_ = 0;
+};
+
+} // namespace demo

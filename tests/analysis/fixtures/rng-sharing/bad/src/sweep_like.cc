@@ -1,0 +1,30 @@
+// Fixture: one RNG stream shared across sweep workers, plus a
+// worker-local RNG seeded without deriveSeed.
+#include <cstddef>
+#include <cstdint>
+
+namespace demo {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    double uniform();
+};
+
+std::uint64_t deriveSeed(std::uint64_t base, std::size_t rate_index,
+                         unsigned seed_index);
+
+template <typename F>
+void parallelFor(unsigned jobs, std::size_t count, F&& body);
+
+void
+sweep(std::uint64_t base_seed, double* out, std::size_t n)
+{
+    Rng shared(base_seed);
+    parallelFor(0, n, [&](std::size_t i) {
+        Rng local(12345);
+        out[i] = shared.uniform() + local.uniform();
+    });
+}
+
+} // namespace demo

@@ -1,0 +1,29 @@
+// Fixture: every worker derives its own stream from the base seed
+// and the point index, so results are independent of --jobs.
+#include <cstddef>
+#include <cstdint>
+
+namespace demo {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    double uniform();
+};
+
+std::uint64_t deriveSeed(std::uint64_t base, std::size_t rate_index,
+                         unsigned seed_index);
+
+template <typename F>
+void parallelFor(unsigned jobs, std::size_t count, F&& body);
+
+void
+sweep(std::uint64_t base_seed, double* out, std::size_t n)
+{
+    parallelFor(0, n, [&](std::size_t i) {
+        Rng rng(deriveSeed(base_seed, i, 0));
+        out[i] = rng.uniform();
+    });
+}
+
+} // namespace demo

@@ -1,0 +1,29 @@
+// Fixture: a class holding a core::Mutex capability with one mutable
+// member left unannotated.
+#define ORION_GUARDED_BY(x)
+
+namespace core {
+
+class Mutex
+{
+  public:
+    void lock();
+    void unlock();
+};
+
+} // namespace core
+
+namespace demo {
+
+class Ledger
+{
+  public:
+    void add(double joules);
+
+  private:
+    core::Mutex mutex_;
+    double total_ ORION_GUARDED_BY(mutex_);
+    unsigned samples_;
+};
+
+} // namespace demo

@@ -1,0 +1,30 @@
+// Fixture: every mutable member of the capability-holding class is
+// either annotated or carries a justified suppression.
+#define ORION_GUARDED_BY(x)
+
+namespace core {
+
+class Mutex
+{
+  public:
+    void lock();
+    void unlock();
+};
+
+} // namespace core
+
+namespace demo {
+
+class Ledger
+{
+  public:
+    void add(double joules);
+
+  private:
+    core::Mutex mutex_;
+    double total_ ORION_GUARDED_BY(mutex_);
+    unsigned samples_ ORION_GUARDED_BY(mutex_);
+    unsigned scratch_; // analyze-allow: unguarded -- ctor-only scratch, never shared
+};
+
+} // namespace demo

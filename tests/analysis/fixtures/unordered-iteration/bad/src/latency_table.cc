@@ -1,0 +1,29 @@
+// Fixture: iterating an unordered container on a report path.
+#include <ostream>
+#include <unordered_map>
+
+namespace demo {
+
+class LatencyTable
+{
+  public:
+    void
+    writeCsv(std::ostream& out) const
+    {
+        for (const auto& entry : samples_)
+            out << entry.first << "," << entry.second << "\n";
+    }
+
+    double
+    firstSample() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        return samples_.begin()->second;
+    }
+
+  private:
+    std::unordered_map<int, double> samples_;
+};
+
+} // namespace demo

@@ -17,9 +17,16 @@
 #                BENCH_kernel.json — fails on a >10% regression on
 #                either reference config (vc16, k16n2)
 #   6. lint:     tools/orion_lint.py, plus clang-tidy when installed
+#   7. analysis: tools/orion_analyze.py (determinism/concurrency
+#                rules + thread-safety annotation coverage) and its
+#                fixture tests; when a clang++ is installed, a Clang
+#                build with -Wthread-safety promoted to errors
+#                verifies the ORION_GUARDED_BY/ORION_REQUIRES
+#                annotations for real (they are no-ops under GCC)
 #
 # Usage: tools/check.sh [--tier1-only|--asan-only|--tsan-only|
-#                        --overhead-only|--kernel-only|--lint-only]
+#                        --overhead-only|--kernel-only|--lint-only|
+#                        --analysis-only]
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -168,6 +175,24 @@ if run_leg lint; then
         cmake --build "$root/build" --target lint
     else
         echo "clang-tidy not installed; skipping (CI runs it)"
+    fi
+fi
+
+if run_leg analysis; then
+    echo "== analysis: orion_analyze + fixtures =="
+    python3 "$root/tools/orion_analyze.py" --root "$root"
+    python3 "$root/tests/analysis/run_analyzer_tests.py" \
+        --analyzer "$root/tools/orion_analyze.py" \
+        --fixtures "$root/tests/analysis/fixtures"
+    if command -v clang++ > /dev/null 2>&1; then
+        echo "== analysis: Clang thread-safety annotations as errors =="
+        cmake -B "$root/build-clang" -S "$root" \
+            -DCMAKE_CXX_COMPILER=clang++ \
+            -DCMAKE_CXX_FLAGS="-Werror=thread-safety -Werror=thread-safety-beta"
+        cmake --build "$root/build-clang" -j "$jobs" --target orion
+    else
+        echo "clang++ not installed; annotation verification skipped" \
+             "(CI's analysis job runs it)"
     fi
 fi
 

@@ -33,10 +33,15 @@ one does:
                      through the router/fault_hooks.hh interface, so
                      the router layer stays independent of the net
                      layer's fault machinery.
+  unused-suppression a "// lint-allow: <rule>" comment that no longer
+                     suppresses anything (or names an unknown rule) is
+                     itself a finding, so suppressions cannot outlive
+                     the code they excused.
 
 A finding can be suppressed by appending "// lint-allow: <rule>" to
-the offending line. Exit status is 0 when clean, 1 when findings
-exist, 2 on usage errors.
+the offending line (unused-suppression findings cannot be
+suppressed). Exit status is 0 when clean, 1 when findings exist, 2 on
+usage errors.
 
 Usage: orion_lint.py [--root DIR] [--list-rules]
 """
@@ -48,6 +53,15 @@ from pathlib import Path
 
 CXX_SUFFIXES = {".cc", ".hh"}
 SCAN_DIRS = ("src", "tools", "bench", "tests")
+
+# orion_analyze.py's fixture mini-roots violate rules on purpose.
+SKIP_PREFIXES = ("tests/analysis/fixtures/",)
+
+KNOWN_RULES = (
+    "nondeterminism", "naked-new", "file-scope-state", "include-guard",
+    "stdout-in-library", "stat-printing", "fault-hooks",
+    "unused-suppression",
+)
 
 # Directories whose modules must be re-entrant (parallel sweeps run
 # one Simulation per worker thread).
@@ -146,12 +160,16 @@ class Linter:
     def __init__(self, root):
         self.root = root
         self.findings = []
+        # lint-allow sites and the subset that suppressed something.
+        self.suppression_sites = []  # (rel str, lineno, rule)
+        self.used_suppressions = set()  # (rel str, lineno)
 
     def report(self, path, lineno, rule, message, raw_line):
         m = SUPPRESS_RE.search(raw_line)
-        if m and m.group(1) == rule:
-            return
         rel = path.relative_to(self.root)
+        if m and m.group(1) == rule:
+            self.used_suppressions.add((rel.as_posix(), lineno))
+            return
         self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
 
     def lint_file(self, path):
@@ -162,6 +180,11 @@ class Linter:
             self.findings.append(f"{rel}:1: [encoding] not valid UTF-8")
             return
         lines = raw.splitlines()
+
+        for idx, line in enumerate(lines, 1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                self.suppression_sites.append((rel, idx, m.group(1)))
 
         in_src = rel.startswith("src/")
         is_rng = rel.startswith("src/sim/rng")
@@ -290,6 +313,24 @@ class Linter:
                 f"#ifndef {expected} has no matching #define",
                 lines[ifndef_line - 1])
 
+    def check_suppressions(self):
+        """Flag lint-allow comments that no longer earn their keep.
+
+        Emitted directly (never themselves suppressible): a stale
+        suppression silently re-arms the rule it once excused, so it
+        must be deleted, not excused again.
+        """
+        for rel, lineno, rule in self.suppression_sites:
+            if rule not in KNOWN_RULES:
+                self.findings.append(
+                    f"{rel}:{lineno}: [unused-suppression] lint-allow "
+                    f"names unknown rule '{rule}'")
+            elif (rel, lineno) not in self.used_suppressions:
+                self.findings.append(
+                    f"{rel}:{lineno}: [unused-suppression] stale "
+                    f"suppression: no '{rule}' finding is triggered "
+                    "here anymore; delete the lint-allow comment")
+
     def run(self):
         files = []
         for d in SCAN_DIRS:
@@ -298,9 +339,12 @@ class Linter:
                 continue
             files.extend(
                 p for p in sorted(base.rglob("*"))
-                if p.suffix in CXX_SUFFIXES)
+                if p.suffix in CXX_SUFFIXES
+                and not p.relative_to(self.root).as_posix().startswith(
+                    SKIP_PREFIXES))
         for f in files:
             self.lint_file(f)
+        self.check_suppressions()
         return files
 
 
@@ -314,9 +358,7 @@ def main(argv):
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        for rule in ("nondeterminism", "naked-new", "file-scope-state",
-                     "include-guard", "stdout-in-library",
-                     "stat-printing", "fault-hooks"):
+        for rule in KNOWN_RULES:
             print(rule)
         return 0
 
