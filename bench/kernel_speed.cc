@@ -28,6 +28,12 @@
  *  - ORION_KERNEL_BASELINE: optional path to a previously written
  *    BENCH_kernel.json; when set, per-config speedup fields vs that
  *    baseline are included in the output.
+ *  - ORION_KERNEL_CANCEL: when set (any value), every run carries an
+ *    armed-but-never-fired core::CancelToken, measuring the hot-path
+ *    cost of the per-cycle cancellation check. tools/check.sh's
+ *    kernel leg runs this mode against the same committed gate, so a
+ *    cancellation-check regression in the cycle kernel fails CI like
+ *    any other kernel regression.
  */
 
 #include <chrono>
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "core/cancel.hh"
 
 namespace {
 
@@ -72,6 +79,16 @@ runConfig(const std::string& name, const NetworkConfig& net,
     TrafficConfig traffic;
     traffic.pattern = net::TrafficPattern::UniformRandom;
     traffic.injectionRate = rate;
+
+    // Cancellation-overhead mode: a live token with a deadline far
+    // beyond any bench run, so the kernel pays the real per-cycle
+    // cancelled() load and the periodic deadline poll without ever
+    // stopping early.
+    core::CancelToken cancel_token;
+    if (std::getenv("ORION_KERNEL_CANCEL") != nullptr) {
+        cancel_token.armDeadline(86400.0);
+        sim.cancel = &cancel_token;
+    }
 
     KernelResult best;
     best.name = name;

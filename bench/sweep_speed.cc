@@ -41,7 +41,7 @@ timeSweep(const NetworkConfig& net, const TrafficConfig& traffic,
 {
     const auto start = Clock::now();
     out = Sweep::overRatesAveraged(net, traffic, sim, rates, seeds,
-                                   SweepOptions{jobs});
+                                   SweepOptions::withJobs(jobs));
     const std::chrono::duration<double> elapsed = Clock::now() - start;
     Timing t;
     t.wallSeconds = elapsed.count();

@@ -37,7 +37,7 @@ timeSweep(const NetworkConfig& net, const TrafficConfig& traffic,
     for (unsigned rep = 0; rep < reps; ++rep) {
         const auto start = Clock::now();
         const auto points =
-            Sweep::overRates(net, traffic, sim, rates, SweepOptions{1});
+            Sweep::overRates(net, traffic, sim, rates, SweepOptions::withJobs(1));
         const std::chrono::duration<double> elapsed =
             Clock::now() - start;
         if (points.size() != rates.size())

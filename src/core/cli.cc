@@ -284,6 +284,23 @@ parse(const std::vector<std::string>& args)
                 1, std::min<sim::Cycle>(128, n / 4));
         } else if (a == "--debug-poison-rate") {
             o.sim.debugPoisonRate = parseDouble(a, value());
+        } else if (a == "--debug-segv-rate") {
+            o.sim.debugSegvRate = parseDouble(a, value());
+        } else if (a == "--point-timeout") {
+            const double sec = parseDouble(a, value());
+            if (sec <= 0.0)
+                fail("--point-timeout: must be > 0 seconds");
+            o.pointTimeoutSeconds = sec;
+        } else if (a == "--point-retries") {
+            const unsigned long long n = parseU64(a, value());
+            if (n < 1 || n > 32)
+                fail("--point-retries: must be in [1, 32]");
+            o.pointRetries = static_cast<unsigned>(n);
+        } else if (a == "--point-backoff-ms") {
+            o.pointBackoffMs =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--report-out") {
+            o.reportOut = value();
         } else if (a == "--jobs") {
             const unsigned long long n = parseU64(a, value());
             if (n < 1)
@@ -409,9 +426,20 @@ usage()
            "                       concurrency; results identical for "
            "any N)\n"
            "\n"
+           "survivability (defaults: disabled; docs/ROBUSTNESS.md):\n"
+           "  --point-timeout SEC  wall-clock deadline per run / sweep\n"
+           "                       point; overruns stop cooperatively\n"
+           "                       as status 'deadline'\n"
+           "  --point-retries N    attempts per sweep cell before it\n"
+           "                       fails for good (default 2)\n"
+           "  --point-backoff-ms N sleep before each retry (default 0)\n"
+           "\n"
            "output:\n"
            "  --csv                machine-readable one-row CSV\n"
            "  --breakdown          per-node power map + event counts\n"
+           "  --report-out FILE    machine-mergeable report line (exact\n"
+           "                       hexfloat doubles; the checkpoint\n"
+           "                       entry format)\n"
            "\n"
            "telemetry (defaults: disabled; see docs/OBSERVABILITY.md):\n"
            "  --metrics-out FILE   windowed metric time series (CSV)\n"

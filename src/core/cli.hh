@@ -55,6 +55,24 @@ struct Options
     /** Write the Chrome trace-event JSON here (--trace-out; empty =
      * don't). */
     std::string traceOut;
+    /**
+     * Wall-clock deadline in seconds for a run / each sweep point
+     * (--point-timeout; <= 0 disables). Overruns stop cooperatively
+     * with StopReason::Deadline. See docs/ROBUSTNESS.md.
+     */
+    double pointTimeoutSeconds = 0.0;
+    /** Attempts per sweep cell before it is declared failed
+     * (--point-retries, >= 1; default: the historical 2). */
+    unsigned pointRetries = 2;
+    /** Milliseconds slept before each retry (--point-backoff-ms). */
+    unsigned pointBackoffMs = 0;
+    /**
+     * Write the run report here in the checkpoint entry line format
+     * (--report-out; empty = don't): exact hexfloat doubles, so a
+     * parent process (orion_sweep --isolate) can merge it
+     * bit-identically with in-process results.
+     */
+    std::string reportOut;
     /** --help was requested: print usage() and exit successfully. */
     bool helpRequested = false;
 };

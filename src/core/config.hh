@@ -20,6 +20,10 @@
 #include "power/crossbar_model.hh"
 #include "tech/tech_node.hh"
 
+namespace orion::core {
+class CancelToken;
+} // namespace orion::core
+
 namespace orion {
 
 /** Link regime (paper Sections 4.2 vs 4.4). */
@@ -176,6 +180,22 @@ struct SimConfig
      * bounded retry on a rederived seed succeeds.
      */
     bool debugPoisonTransient = false;
+    /**
+     * Crash drill for the isolated worker mode (--isolate): a run
+     * whose injection rate equals this value raises SIGSEGV right
+     * after construction, so the sweep's structured worker-crash
+     * capture can be exercised deterministically. Negative disables.
+     */
+    double debugSegvRate = -1.0;
+    /**
+     * Cooperative-cancellation token (not owned; may be null). When
+     * set, Simulation::run checks it at cycle granularity and returns
+     * a report with StopReason::Deadline or StopReason::Interrupted
+     * instead of running to the cycle cap. Arm a deadline on the
+     * token itself (CancelToken::armDeadline) for --point-timeout
+     * semantics. See core/cancel.hh and docs/ROBUSTNESS.md.
+     */
+    core::CancelToken* cancel = nullptr;
 };
 
 } // namespace orion

@@ -94,12 +94,16 @@ resolveJobs(unsigned jobs)
 
 void
 parallelFor(unsigned jobs, std::size_t count,
-            const std::function<void(std::size_t)>& body)
+            const std::function<void(std::size_t)>& body,
+            const CancelToken* cancel)
 {
     jobs = resolveJobs(jobs);
     if (jobs == 1 || count < 2) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            if (cancel != nullptr && cancel->cancelled())
+                return;
             body(i);
+        }
         return;
     }
 
@@ -109,6 +113,8 @@ parallelFor(unsigned jobs, std::size_t count,
     std::atomic<std::size_t> cursor{0};
     const auto drain = [&] {
         for (;;) {
+            if (cancel != nullptr && cancel->cancelled())
+                return;
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)

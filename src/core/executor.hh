@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.hh"
 #include "core/sync.hh"
 
 namespace orion::core {
@@ -135,9 +136,17 @@ unsigned resolveJobs(unsigned jobs);
  * Index assignment across workers is dynamic (an atomic cursor), so
  * bodies must not depend on which thread runs which index; exceptions
  * from any body are rethrown on the calling thread after the join.
+ *
+ * With @p cancel non-null, a fired token stops the cursor from
+ * dispensing further indices — indices already handed out finish
+ * (bodies observing the same token bail cooperatively), the join
+ * still happens, and the skipped indices simply never see body(i).
+ * Callers mark processed slots to tell the two apart (see
+ * SweepPoint::ran).
  */
 void parallelFor(unsigned jobs, std::size_t count,
-                 const std::function<void(std::size_t)>& body);
+                 const std::function<void(std::size_t)>& body,
+                 const CancelToken* cancel = nullptr);
 
 } // namespace orion::core
 

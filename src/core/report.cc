@@ -17,6 +17,9 @@ stopReasonName(StopReason reason)
       case StopReason::CheckFailure:  return "check-failure";
       case StopReason::DeadlockUnrecovered:
           return "deadlock-unrecovered";
+      case StopReason::Deadline:      return "deadline";
+      case StopReason::Interrupted:   return "interrupted";
+      case StopReason::WorkerCrash:   return "worker-crash";
     }
     return "unknown";
 }

@@ -31,10 +31,22 @@ enum class StopReason
      * not break (victim poisoning failed or the recovery budget was
      * exhausted). Forensics carry the wait-for graph. */
     DeadlockUnrecovered,
+    /** The per-point wall-clock deadline (--point-timeout) expired
+     * and the run was cancelled cooperatively (core/cancel.hh). */
+    Deadline,
+    /** The process was interrupted (SIGINT/SIGTERM) and the run was
+     * cancelled cooperatively mid-protocol. */
+    Interrupted,
+    /** An isolated worker subprocess (--isolate) died — crashed,
+     * was killed by its resource limits, or exceeded its deadline
+     * hard enough to need SIGKILL. Forensics carry the exit status
+     * or signal. */
+    WorkerCrash,
 };
 
 /** Stable lower-case name for @p reason ("completed", "max-cycles",
- * "watchdog-stall", "check-failure", "deadlock-unrecovered"). */
+ * "watchdog-stall", "check-failure", "deadlock-unrecovered",
+ * "deadline", "interrupted", "worker-crash"). */
 const char* stopReasonName(StopReason reason);
 
 } // namespace orion

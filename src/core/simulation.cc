@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <csignal>
 #include <sstream>
 
+#include "core/cancel.hh"
 #include "core/check.hh"
 #include "sim/rng.hh"
 
@@ -100,6 +102,11 @@ Simulation::Simulation(const NetworkConfig& network,
             *metrics_, tele.sampleInterval);
         sampler_->registerWith(sim_);
     }
+
+    // Cooperative cancellation: with no token configured (the
+    // default) the simulator keeps its token-free cycle loops and the
+    // hot path is untouched.
+    sim_.setCancel(simCfg_.cancel);
 }
 
 Simulation::~Simulation() = default;
@@ -123,6 +130,14 @@ Simulation::run()
             throw core::CheckFailure(
                 "deliberately poisoned sweep point "
                 "(SimConfig::debugPoisonRate)");
+        }
+        // Crash drill: deliberately SIGSEGV the point whose rate
+        // matches debugSegvRate, so --isolate's structured
+        // worker-crash capture can be tested end to end.
+        if (simCfg_.debugSegvRate >= 0.0 &&
+            std::abs(trafficCfg_.injectionRate -
+                     simCfg_.debugSegvRate) < 1e-12) {
+            std::raise(SIGSEGV);
         }
         runProtocol(r);
     } catch (const core::CheckFailure& e) {
@@ -212,6 +227,7 @@ Simulation::runProtocol(Report& r)
     bool completed = false;
     bool deadlocked = false;
     bool unrecovered = false;
+    bool cancelled = false;
     sim::Cycle elapsed = 0;
     std::uint64_t last_flits = 0;
     std::uint64_t last_reads = 0;
@@ -244,11 +260,22 @@ Simulation::runProtocol(Report& r)
     };
 
     while (elapsed < simCfg_.maxCycles) {
+        // Cooperative-cancellation check at chunk granularity (the
+        // simulator loop itself also bails mid-chunk): a deadline or
+        // interrupt ends the run with a structured stop reason.
+        if (sim_.cancelled()) {
+            cancelled = true;
+            break;
+        }
         const sim::Cycle chunk =
             std::min<sim::Cycle>(simCfg_.watchdogCycles,
                                  simCfg_.maxCycles - elapsed);
         if (sim_.runUntil(done, chunk)) {
             completed = true;
+            break;
+        }
+        if (sim_.cancelled()) {
+            cancelled = true;
             break;
         }
         elapsed += chunk;
@@ -272,8 +299,10 @@ Simulation::runProtocol(Report& r)
     }
 
     // Final audit at drain: every invariant must hold at the very
-    // cycle boundary the report is assembled from.
-    if (sim_.auditCount() > 0)
+    // cycle boundary the report is assembled from. Skipped when
+    // cancelled — the report is an explicitly partial snapshot and
+    // the contract is to get out quickly.
+    if (!cancelled && sim_.auditCount() > 0)
         sim_.runAudits();
 
     // Phase 4: assemble the report.
@@ -283,6 +312,10 @@ Simulation::runProtocol(Report& r)
     r.completed = completed;
     r.deadlockSuspected = deadlocked || unrecovered;
     r.stopReason = completed      ? StopReason::Completed
+                   : cancelled   ? (simCfg_.cancel->cause() ==
+                                            core::CancelCause::Deadline
+                                        ? StopReason::Deadline
+                                        : StopReason::Interrupted)
                    : unrecovered ? StopReason::DeadlockUnrecovered
                    : deadlocked  ? StopReason::WatchdogStall
                                  : StopReason::MaxCycles;

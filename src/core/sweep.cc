@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <exception>
+#include <thread>
+#include <unordered_map>
 
 #include "core/executor.hh"
 #include "core/forensics.hh"
@@ -12,42 +15,137 @@ namespace orion {
 
 namespace {
 
-/** Retry attempts rederive the seed in a disjoint seed-index band, so
- * a retried point cannot collide with any sibling cell's stream. */
-constexpr std::uint64_t kRetrySeedOffset = 1ULL << 32;
-
 /** What one (rate, seed) cell produced. */
 struct CellResult
 {
     Report report;
     std::optional<PointFailure> failure;
     unsigned attempts = 1;
+    /** See SweepPoint::ran / SweepPoint::fromCheckpoint. */
+    bool ran = false;
+    bool fromCheckpoint = false;
     /** Telemetry exports (only when captured — see runPoint). */
     std::string metricsCsv;
     std::string traceJson;
 };
 
+/** A cell outcome worth journaling: deterministic given the seed.
+ * Deadline/Interrupted stops depend on wall-clock/machine load and
+ * must rerun on resume instead. */
+bool
+journalable(const CellResult& cell)
+{
+    const StopReason sr = cell.failure ? cell.failure->reason
+                                       : cell.report.stopReason;
+    return sr != StopReason::Deadline &&
+           sr != StopReason::Interrupted;
+}
+
+core::CheckpointEntry
+makeEntry(std::size_t rate_index, unsigned seed_index,
+          const CellResult& cell)
+{
+    core::CheckpointEntry e;
+    e.rateIndex = rate_index;
+    e.seedIndex = seed_index;
+    e.attempts = cell.attempts;
+    e.report = cell.report;
+    if (cell.failure) {
+        e.failed = true;
+        e.failureReason = cell.failure->reason;
+        e.failureMessage = cell.failure->message;
+        e.failureForensics = cell.failure->forensicsJson;
+    }
+    return e;
+}
+
+CellResult
+cellFromEntry(const core::CheckpointEntry& e)
+{
+    CellResult cell;
+    cell.report = e.report;
+    cell.attempts = e.attempts;
+    cell.ran = true;
+    cell.fromCheckpoint = true;
+    if (e.failed) {
+        cell.failure = PointFailure{e.failureReason, e.failureMessage,
+                                    e.failureForensics};
+    }
+    return cell;
+}
+
+/** (rate index, seed index) -> cached entry; duplicates last-wins
+ * (repeated resumes re-journal nothing, but stay safe anyway). */
+using ResumeIndex =
+    std::unordered_map<std::uint64_t, const core::CheckpointEntry*>;
+
+ResumeIndex
+buildResumeIndex(const std::vector<core::CheckpointEntry>* entries,
+                 std::size_t num_rates, unsigned num_seeds)
+{
+    ResumeIndex index;
+    if (entries == nullptr)
+        return index;
+    for (const core::CheckpointEntry& e : *entries) {
+        if (e.rateIndex >= num_rates || e.seedIndex >= num_seeds)
+            continue; // defensive; the fingerprint binds the grid
+        index[(e.rateIndex << 32) | e.seedIndex] = &e;
+    }
+    return index;
+}
+
+const core::CheckpointEntry*
+lookupResume(const ResumeIndex& index, std::size_t rate_index,
+             unsigned seed_index)
+{
+    const auto it = index.find(
+        (static_cast<std::uint64_t>(rate_index) << 32) | seed_index);
+    return it == index.end() ? nullptr : it->second;
+}
+
 /**
  * Run one (rate index, seed index) cell with its derived RNG stream,
- * isolating failures: a check failure gets one bounded retry on a
- * rederived seed, and any failure (including a throwing constructor)
- * is captured per-cell instead of propagating into the worker pool —
- * a worker exception would abort the whole sweep and discard every
- * completed point.
+ * isolating failures: a check failure gets bounded retries on
+ * rederived seeds (SweepOptions::retry), and any failure (including a
+ * throwing constructor) is captured per-cell instead of propagating
+ * into the worker pool — a worker exception would abort the whole
+ * sweep and discard every completed point. A per-cell deadline and
+ * the sweep-wide cancel token ride in via a chained CancelToken; a
+ * token is installed on the simulation only when either is active,
+ * so plain sweeps keep the token-free cycle loop.
  */
 CellResult
 runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
          const SimConfig& sim, double rate, std::size_t rate_index,
-         unsigned seed_index, bool capture_telemetry = false)
+         unsigned seed_index, bool capture_telemetry,
+         const SweepOptions& opts)
 {
     TrafficConfig t = traffic;
     t.injectionRate = rate;
 
     CellResult res;
-    for (unsigned attempt = 0; attempt < 2; ++attempt) {
+    res.ran = true;
+    const unsigned max_attempts =
+        std::max(1u, opts.retry.maxAttempts);
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        // An interrupt between attempts ends the cell immediately:
+        // retrying a point nobody will wait for helps no one.
+        if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+            res.report = Report{};
+            res.report.stopReason = StopReason::Interrupted;
+            res.failure = PointFailure{StopReason::Interrupted,
+                                       "sweep interrupted before the "
+                                       "cell could run",
+                                       std::string{}};
+            return res;
+        }
+        if (attempt > 0 && opts.retry.backoffMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts.retry.backoffMs));
+        }
+
         SimConfig s = sim;
-        const std::uint64_t band =
-            attempt == 0 ? 0 : kRetrySeedOffset;
+        const std::uint64_t band = attempt * kRetrySeedOffset;
         s.seed = sim::deriveSeed(sim.seed, rate_index,
                                  seed_index + band);
         // The transient flavor of the poison drill only fails the
@@ -55,6 +153,14 @@ runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
         if (attempt > 0 && s.debugPoisonTransient)
             s.debugPoisonRate = -1.0;
         res.attempts = attempt + 1;
+
+        core::CancelToken token(opts.cancel);
+        if (opts.pointTimeoutSeconds > 0.0)
+            token.armDeadline(opts.pointTimeoutSeconds);
+        if (opts.pointTimeoutSeconds > 0.0 ||
+            opts.cancel != nullptr) {
+            s.cancel = &token;
+        }
 
         try {
             Simulation run(network, t, s);
@@ -65,7 +171,26 @@ runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
                     "rate " + std::to_string(rate) + " seed " +
                     std::to_string(seed_index));
             }
-            if (res.report.stopReason != StopReason::CheckFailure) {
+            const StopReason sr = res.report.stopReason;
+            if (sr == StopReason::Deadline) {
+                // Not transient, not retried: a point that overran
+                // its wall-clock budget will overrun it again.
+                res.failure = PointFailure{
+                    StopReason::Deadline,
+                    "point exceeded its deadline after " +
+                        std::to_string(res.report.totalCycles) +
+                        " cycles",
+                    forensicSnapshot(run, "point deadline expired")};
+                return res;
+            }
+            if (sr == StopReason::Interrupted) {
+                res.failure = PointFailure{
+                    StopReason::Interrupted,
+                    "interrupted mid-run (SIGINT/SIGTERM)",
+                    std::string{}};
+                return res;
+            }
+            if (sr != StopReason::CheckFailure) {
                 res.failure.reset();
                 return res;
             }
@@ -95,20 +220,40 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
     // Index-addressed capture: worker i writes only slot i, so the
     // merged vector is independent of completion order. WorkerSlots
     // makes that contract a checked capability instead of a comment.
+    const ResumeIndex cached =
+        buildResumeIndex(opts.resume, rates.size(), 1);
     core::WorkerSlots<SweepPoint> points(rates.size());
-    core::parallelFor(opts.jobs, rates.size(), [&](std::size_t i) {
-        core::RoleGuard guard(points.role());
-        SweepPoint& p = points.slot(i);
-        p.injectionRate = rates[i];
-        CellResult cell = runPoint(network, traffic, sim, rates[i], i,
-                                   0, /*capture_telemetry=*/true);
-        p.report = std::move(cell.report);
-        p.failure = std::move(cell.failure);
-        p.attempts = cell.attempts;
-        p.metricsCsv = std::move(cell.metricsCsv);
-        p.traceJson = std::move(cell.traceJson);
-    });
-    return std::move(points).take();
+    core::parallelFor(
+        opts.jobs, rates.size(),
+        [&](std::size_t i) {
+            core::RoleGuard guard(points.role());
+            SweepPoint& p = points.slot(i);
+            p.injectionRate = rates[i];
+            CellResult cell;
+            if (const core::CheckpointEntry* e =
+                    lookupResume(cached, i, 0)) {
+                cell = cellFromEntry(*e);
+            } else {
+                cell = runPoint(network, traffic, sim, rates[i], i,
+                                0, /*capture_telemetry=*/true, opts);
+                if (opts.journal != nullptr && journalable(cell))
+                    opts.journal->append(makeEntry(i, 0, cell));
+            }
+            p.report = std::move(cell.report);
+            p.failure = std::move(cell.failure);
+            p.attempts = cell.attempts;
+            p.ran = cell.ran;
+            p.fromCheckpoint = cell.fromCheckpoint;
+            p.metricsCsv = std::move(cell.metricsCsv);
+            p.traceJson = std::move(cell.traceJson);
+        },
+        opts.cancel);
+    std::vector<SweepPoint> out = std::move(points).take();
+    // Cells the cancelled cursor never dispensed still carry their
+    // rate (slots default-construct with ran == false).
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].injectionRate = rates[i];
+    return out;
 }
 
 std::vector<AveragedPoint>
@@ -123,16 +268,29 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
     // Fan out over the flattened (rate, seed) grid — finer-grained
     // than per-rate fan-out, so a few rates with many seeds still
     // saturate the pool.
+    const ResumeIndex cached =
+        buildResumeIndex(opts.resume, rates.size(), num_seeds);
     core::WorkerSlots<CellResult> cells(rates.size() * num_seeds);
     core::parallelFor(
-        opts.jobs, rates.size() * num_seeds, [&](std::size_t cell) {
+        opts.jobs, rates.size() * num_seeds,
+        [&](std::size_t cell) {
             const std::size_t i = cell / num_seeds;
             const unsigned k = static_cast<unsigned>(cell % num_seeds);
             core::RoleGuard guard(cells.role());
-            cells.slot(cell) = runPoint(network, traffic, sim,
-                                        rates[i], i, k,
-                                        /*capture_telemetry=*/true);
-        });
+            if (const core::CheckpointEntry* e =
+                    lookupResume(cached, i, k)) {
+                cells.slot(cell) = cellFromEntry(*e);
+                return;
+            }
+            CellResult res = runPoint(network, traffic, sim,
+                                      rates[i], i, k,
+                                      /*capture_telemetry=*/true,
+                                      opts);
+            if (opts.journal != nullptr && journalable(res))
+                opts.journal->append(makeEntry(i, k, res));
+            cells.slot(cell) = std::move(res);
+        },
+        opts.cancel);
     std::vector<CellResult> grid = std::move(cells).take();
 
     // Deterministic merge: aggregate each rate's seeds in seed order,
@@ -157,6 +315,15 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
             avg.metricsCsvBySeed.push_back(
                 std::move(cell.metricsCsv));
             avg.traceJsonBySeed.push_back(std::move(cell.traceJson));
+            avg.attemptsBySeed.push_back(cell.ran ? cell.attempts
+                                                  : 0);
+            // A cell the cancelled sweep never dispensed is neither a
+            // success nor a failure; it just hasn't run yet.
+            if (!cell.ran) {
+                avg.allCompleted = false;
+                continue;
+            }
+            ++avg.ranSeeds;
             if (cell.failure) {
                 ++avg.failedSeeds;
                 if (avg.firstFailure.empty())

@@ -11,10 +11,13 @@
 #ifndef ORION_CORE_SWEEP_HH
 #define ORION_CORE_SWEEP_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cancel.hh"
+#include "core/checkpoint.hh"
 #include "core/config.hh"
 #include "core/simulation.hh"
 
@@ -37,16 +40,50 @@ struct PointFailure
     std::string forensicsJson;
 };
 
+/**
+ * Bounded retry of a failed sweep cell. Attempt k reruns the cell on
+ * the rederived seed stream sim::deriveSeed(seed, rate index,
+ * seed index + k * 2^32) — disjoint from every sibling cell — so
+ * transient, seed-dependent failures recover while results stay
+ * deterministic. Shared by the in-process and --isolate execution
+ * modes; the default (2 attempts, no backoff) reproduces the
+ * historical "one rederived-seed retry" exactly.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per cell (>= 1; 1 disables retry). */
+    unsigned maxAttempts = 2;
+    /** Milliseconds slept before each retry attempt, easing transient
+     * resource pressure (ENOMEM, thrashing). 0 = none. */
+    unsigned backoffMs = 0;
+};
+
+/**
+ * Retry attempts rederive the seed in a disjoint seed-index band —
+ * attempt k runs on sim::deriveSeed(seed, rate index, seed index +
+ * k * kRetrySeedOffset) — so a retried cell cannot collide with any
+ * sibling cell's stream. Public so `orion_sweep --isolate` derives
+ * the exact same streams when it re-invokes a crashed worker.
+ */
+constexpr std::uint64_t kRetrySeedOffset = 1ULL << 32;
+
 /** One point of an injection-rate sweep. */
 struct SweepPoint
 {
-    double injectionRate;
+    double injectionRate = 0.0;
     Report report;
-    /** Set when the point failed even after its bounded retry. */
+    /** Set when the point failed even after its bounded retries. */
     std::optional<PointFailure> failure;
     /** Simulation attempts spent on this point (2 = retried once on a
      * rederived seed after a transient check failure). */
     unsigned attempts = 1;
+    /** False when the point never executed: the sweep was cancelled
+     * before the cursor dispensed it. Only possible with
+     * SweepOptions::cancel set. */
+    bool ran = false;
+    /** True when the result came from a resumed checkpoint journal
+     * instead of a fresh run (bit-identical either way). */
+    bool fromCheckpoint = false;
     /** The point's sampled metric time series (long-format CSV),
      * captured only when SimConfig::telemetry enables the sampler
      * (the averaged driver captures per seed instead — see
@@ -70,6 +107,51 @@ struct SweepOptions
      * are merged in index order regardless of completion order.
      */
     unsigned jobs = 1;
+    /** Per-cell retry of transient failures (see RetryPolicy). */
+    RetryPolicy retry;
+    /**
+     * Per-cell wall-clock deadline in seconds (<= 0 disables). An
+     * overrunning cell is cancelled cooperatively and recorded as a
+     * PointFailure with StopReason::Deadline plus forensics; deadline
+     * overruns are never retried (they are not transient) and never
+     * journaled (they are not deterministic).
+     */
+    double pointTimeoutSeconds = 0.0;
+    /**
+     * Parent cancellation token (typically &core::interruptToken();
+     * not owned, may be null). Once it fires, no further cells are
+     * dispensed and in-flight cells stop cooperatively with
+     * StopReason::Interrupted; cells never dispensed come back with
+     * ran == false.
+     */
+    core::CancelToken* cancel = nullptr;
+    /**
+     * Checkpoint journal to append finished cells to (not owned, may
+     * be null). Only deterministic outcomes are written — see
+     * core/checkpoint.hh. Telemetry exports (metricsCsv/traceJson)
+     * are NOT journaled; drivers reject checkpointing combined with
+     * telemetry capture.
+     */
+    core::CheckpointJournal* journal = nullptr;
+    /**
+     * Cells already completed by an earlier (interrupted) run, from
+     * loadCheckpoint (not owned, may be null). Matching cells are
+     * merged from the cache instead of rerun — bit-identically,
+     * thanks to the journal's exact hexfloat round-trip. Duplicate
+     * coordinates: last entry wins.
+     */
+    const std::vector<core::CheckpointEntry>* resume = nullptr;
+
+    /** Options with only a worker count set — the common call-site
+     * shape (avoids missing-field-initializer noise now that the
+     * struct has grown survivability knobs). */
+    static SweepOptions
+    withJobs(unsigned jobs)
+    {
+        SweepOptions o;
+        o.jobs = jobs;
+        return o;
+    }
 };
 
 /** One sweep point aggregated over several seeds. */
@@ -86,8 +168,14 @@ struct AveragedPoint
     double meanThroughput = 0.0;
     /** Seeds whose runs failed (excluded from the aggregates). */
     unsigned failedSeeds = 0;
+    /** Seeds that actually executed (or were merged from a resumed
+     * checkpoint); less than `seeds` only after a cancellation. */
+    unsigned ranSeeds = 0;
     /** Diagnostic of the first failed seed, if any. */
     std::string firstFailure;
+    /** Simulation attempts spent per seed (aligned with seed index;
+     * 0 for seeds that never ran). > 1 marks a retried seed. */
+    std::vector<unsigned> attemptsBySeed;
     /** Per-seed telemetry exports, indexed by seed (captured only
      * when SimConfig::telemetry enables the sampler/tracer; failed
      * seeds hold empty strings so indexes stay aligned). */
@@ -109,10 +197,12 @@ class Sweep
      *
      * Failure isolation: a point whose run hits a check failure (or
      * whose construction throws) never aborts the sweep. The point is
-     * retried once on a rederived seed stream (transient failures
-     * recover); if it fails again, SweepPoint::failure records the
-     * stop reason, diagnostic, and a JSON forensic snapshot, and
-     * every other point still reports normally.
+     * retried on rederived seed streams per opts.retry (transient
+     * failures recover; the default is the historical single retry);
+     * if every attempt fails, SweepPoint::failure records the stop
+     * reason, diagnostic, and a JSON forensic snapshot, and every
+     * other point still reports normally. Deadlines, cancellation,
+     * and checkpoint/resume ride in via opts — see SweepOptions.
      */
     static std::vector<SweepPoint> overRates(
         const NetworkConfig& network, const TrafficConfig& traffic,

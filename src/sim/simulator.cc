@@ -75,14 +75,39 @@ Simulator::step()
 void
 Simulator::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    if (cancel_ == nullptr) {
+        for (Cycle i = 0; i < cycles; ++i)
+            step();
+        return;
+    }
+    // Cancellation-aware loop: one relaxed load per cycle, plus a
+    // wall-clock deadline poll every kCancelPollCycles (clock reads
+    // are far too slow for the per-cycle path).
+    for (Cycle i = 0; i < cycles; ++i) {
+        if (i % core::kCancelPollCycles == 0)
+            cancel_->poll();
+        if (cancel_->cancelled())
+            return;
         step();
+    }
 }
 
 bool
 Simulator::runUntil(const std::function<bool()>& done, Cycle max_cycles)
 {
+    if (cancel_ == nullptr) {
+        for (Cycle i = 0; i < max_cycles; ++i) {
+            step();
+            if (done())
+                return true;
+        }
+        return done();
+    }
     for (Cycle i = 0; i < max_cycles; ++i) {
+        if (i % core::kCancelPollCycles == 0)
+            cancel_->poll();
+        if (cancel_->cancelled())
+            return done();
         step();
         if (done())
             return true;

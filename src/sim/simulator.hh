@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hh"
 #include "sim/event.hh"
 #include "sim/module.hh"
 
@@ -41,16 +42,42 @@ class Simulator
     /** Current cycle (number of completed cycles). */
     Cycle now() const { return now_; }
 
-    /** Run exactly @p cycles cycles. */
+    /** Run exactly @p cycles cycles (or until the cancel token, if
+     * one is installed, fires). */
     void run(Cycle cycles);
 
     /**
-     * Run until @p done returns true (checked after each cycle) or
-     * @p max_cycles additional cycles elapse.
+     * Run until @p done returns true (checked after each cycle), the
+     * installed cancel token (if any) fires, or @p max_cycles
+     * additional cycles elapse.
      *
-     * @return true if @p done fired, false if the cap was hit
+     * @return true if @p done fired, false if the cap was hit or the
+     *         run was cancelled (check cancelled() to distinguish)
      */
     bool runUntil(const std::function<bool()>& done, Cycle max_cycles);
+
+    /// @name Cooperative cancellation (see core/cancel.hh)
+    /// @{
+    /**
+     * Install @p token (nullptr to clear). With a token installed,
+     * run()/runUntil() check token->cancelled() every cycle (one
+     * relaxed atomic load) and token->poll() (the wall-clock deadline
+     * check) every core::kCancelPollCycles cycles, returning early
+     * once the token fires. Without a token the loops are exactly the
+     * pre-cancellation code — the hot path pays nothing
+     * (BENCH_kernel's ORION_KERNEL_CANCEL leg guards the with-token
+     * cost too).
+     */
+    void setCancel(core::CancelToken* token) { cancel_ = token; }
+    core::CancelToken* cancel() const { return cancel_; }
+
+    /** True if a token is installed and has fired. */
+    bool
+    cancelled() const
+    {
+        return cancel_ != nullptr && cancel_->cancelled();
+    }
+    /// @}
 
     /** Number of registered modules (paper quotes 59 for a 4x4 VC net). */
     std::size_t moduleCount() const { return modules_.size(); }
@@ -120,6 +147,8 @@ class Simulator
     std::vector<Periodic> periodics_;
     Cycle auditInterval_ = 0;
     Cycle now_ = 0;
+    /** Optional cooperative-cancellation token (not owned). */
+    core::CancelToken* cancel_ = nullptr;
 };
 
 } // namespace orion::sim

@@ -1,0 +1,32 @@
+// Fixture: a SIGINT handler that writes a plain global (data race /
+// torn write against the interrupted thread) and reaches printf
+// (not async-signal-safe) through a helper.
+#include <csignal>
+#include <cstdio>
+
+namespace demo {
+
+int g_hits = 0;
+volatile std::sig_atomic_t g_flag = 0;
+
+void
+logInterrupt()
+{
+    std::printf("interrupted\n");
+}
+
+extern "C" void
+onSignal(int signum)
+{
+    g_flag = signum;
+    g_hits = 1;
+    logInterrupt();
+}
+
+void
+install()
+{
+    std::signal(SIGINT, &onSignal);
+}
+
+} // namespace demo

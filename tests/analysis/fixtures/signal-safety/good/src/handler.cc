@@ -1,0 +1,35 @@
+// Fixture: the handler touches only a volatile sig_atomic_t and a
+// lock-free atomic flag (through a helper defined in this tree), the
+// whole async-signal-safe budget.
+#include <atomic>
+#include <csignal>
+
+namespace demo {
+
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<int> g_cause{0};
+
+void
+requestStop(int cause)
+{
+    int expected = 0;
+    g_cause.compare_exchange_strong(expected, cause);
+}
+
+extern "C" void
+onSignal(int signum)
+{
+    g_signal = signum;
+    requestStop(2);
+}
+
+void
+install()
+{
+    struct sigaction action = {};
+    action.sa_handler = &onSignal;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+} // namespace demo

@@ -23,6 +23,7 @@ CASES = [
     ("fp-accum-drift", "fp-accum-drift", "fp-accum-drift", 2),
     ("raw-subscribe", "raw-subscribe", "raw-subscribe", 2),
     ("unguarded", "unguarded,unused-suppression", "unguarded", 1),
+    ("signal-safety", "signal-safety", "signal-safety", 2),
     ("unused-suppression", "unordered-iteration,unused-suppression",
      "unused-suppression", 3),
 ]

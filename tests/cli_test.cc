@@ -234,4 +234,48 @@ TEST(RateSpec, RejectsMalformedSpecs)
     EXPECT_THROW(parseRateSpec("0.01:0.1"), std::invalid_argument);
 }
 
+TEST(CliParse, SurvivabilityFlags)
+{
+    const Options o = parse({"--point-timeout", "2.5",
+                             "--point-retries", "3",
+                             "--point-backoff-ms", "50",
+                             "--report-out", "out.entry",
+                             "--debug-segv-rate", "0.04"});
+    EXPECT_DOUBLE_EQ(o.pointTimeoutSeconds, 2.5);
+    EXPECT_EQ(o.pointRetries, 3u);
+    EXPECT_EQ(o.pointBackoffMs, 50u);
+    EXPECT_EQ(o.reportOut, "out.entry");
+    EXPECT_DOUBLE_EQ(o.sim.debugSegvRate, 0.04);
+
+    // Defaults: no deadline, the historical single retry, no report.
+    const Options d = parse({});
+    EXPECT_DOUBLE_EQ(d.pointTimeoutSeconds, 0.0);
+    EXPECT_EQ(d.pointRetries, 2u);
+    EXPECT_EQ(d.pointBackoffMs, 0u);
+    EXPECT_TRUE(d.reportOut.empty());
+    EXPECT_LT(d.sim.debugSegvRate, 0.0);
+}
+
+TEST(CliParse, SurvivabilityFlagsRejectInvalidValues)
+{
+    EXPECT_THROW(parse({"--point-timeout", "0"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--point-timeout", "-1"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--point-retries", "0"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--point-retries", "64"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--point-backoff-ms", "junk"}),
+                 std::invalid_argument);
+}
+
+TEST(CliParse, RateAcceptsExactHexfloat)
+{
+    // `orion_sweep --isolate` hands workers their rate as a hexfloat
+    // so the double reconstructs bit-exactly.
+    const Options o = parse({"--rate", "0x1.999999999999ap-5"});
+    EXPECT_EQ(o.traffic.injectionRate, 0.05);
+}
+
 } // namespace

@@ -165,9 +165,9 @@ TEST(Fault, SweepFaultScheduleIdenticalAcrossJobCounts)
     const std::vector<double> rates = {0.03, 0.05, 0.07};
     const NetworkConfig net = NetworkConfig::vc16();
 
-    const auto serial = Sweep::overRates(net, t, s, rates, {.jobs = 1});
+    const auto serial = Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(1));
     const auto parallel =
-        Sweep::overRates(net, t, s, rates, {.jobs = 3});
+        Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(3));
 
     ASSERT_EQ(serial.size(), parallel.size());
     bool any_faults = false;

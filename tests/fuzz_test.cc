@@ -7,9 +7,14 @@
  * saturation, and energy/event consistency.
  */
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/check.hh"
+#include "core/checkpoint.hh"
 #include "core/config.hh"
 #include "core/simulation.hh"
 #include "sim/rng.hh"
@@ -152,5 +157,108 @@ TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfig)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// --- checkpoint journal corruption fuzzing ----------------------------
+//
+// Whatever a crash, a bad disk, or a hostile editor does to a journal
+// file, loadCheckpoint must end in exactly one of two ways: a clean
+// load (possibly with the torn final line dropped) or a structured
+// CheckpointError. Never UB, never a crash, never silently wrong
+// entries.
+
+namespace journal_fuzz {
+
+std::string
+validJournal(std::uint64_t fingerprint, unsigned entries)
+{
+    std::string out = core::checkpointHeader(fingerprint) + "\n";
+    core::CheckpointEntry e;
+    e.report.avgLatencyCycles = 18.19;
+    e.report.sampleInjected = 200;
+    e.report.sampleEjected = 200;
+    e.report.completed = true;
+    e.report.stopReason = StopReason::Completed;
+    e.report.nodePowerWatts = {0.25, 1.0 / 3.0};
+    for (unsigned i = 0; i < entries; ++i) {
+        e.rateIndex = i;
+        e.report.offeredLoad = 0.01 * (i + 1);
+        out += core::serializeEntry(e) + "\n";
+    }
+    return out;
+}
+
+void
+writeJournal(const std::string& path, const std::string& content)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << content;
+}
+
+} // namespace journal_fuzz
+
+class JournalFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(JournalFuzz, MutatedJournalLoadsCleanlyOrThrowsStructured)
+{
+    const std::uint64_t seed = GetParam();
+    sim::Rng rng(seed * 7919 + 13);
+    const std::uint64_t fp = 0xfeedfacecafebeefULL;
+    const std::string valid = journal_fuzz::validJournal(fp, 5);
+    const std::string path = testing::TempDir() +
+                             "orion_journal_fuzz_" +
+                             std::to_string(seed);
+
+    for (unsigned round = 0; round < 40; ++round) {
+        std::string mutated = valid;
+        switch (rng.below(3)) {
+        case 0: // truncate anywhere (the kill-at-random-byte case)
+            mutated.resize(rng.below(mutated.size() + 1));
+            break;
+        case 1: { // flip a random bit
+            if (!mutated.empty()) {
+                const std::size_t i = static_cast<std::size_t>(
+                    rng.below(mutated.size()));
+                mutated[i] = static_cast<char>(
+                    mutated[i] ^ (1u << rng.below(8)));
+            }
+            break;
+        }
+        default: { // splice random garbage into a random offset
+            const std::size_t i = static_cast<std::size_t>(
+                rng.below(mutated.size() + 1));
+            std::string junk;
+            for (unsigned k = 0; k < 1 + rng.below(12); ++k)
+                junk.push_back(
+                    static_cast<char>(32 + rng.below(95)));
+            mutated.insert(i, junk);
+            break;
+        }
+        }
+        journal_fuzz::writeJournal(path, mutated);
+        try {
+            const core::CheckpointLoad load =
+                core::loadCheckpoint(path, fp);
+            // A clean load must only ever contain entries that exist
+            // in the pristine journal, byte-faithfully: coordinates
+            // in range and reports intact.
+            EXPECT_LE(load.entries.size(), 5u);
+            for (const auto& e : load.entries) {
+                EXPECT_LT(e.rateIndex, 5u);
+                EXPECT_EQ(e.report.sampleEjected, 200u);
+                EXPECT_EQ(e.report.offeredLoad,
+                          0.01 * (static_cast<double>(e.rateIndex) +
+                                  1.0));
+            }
+        } catch (const core::CheckpointError&) {
+            // Structured rejection is the other acceptable outcome.
+        }
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 } // namespace

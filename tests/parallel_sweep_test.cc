@@ -124,11 +124,11 @@ TEST(ParallelSweep, AveragedBitIdenticalAcrossJobCounts)
     const NetworkConfig net = NetworkConfig::vc16();
 
     const auto serial = Sweep::overRatesAveraged(net, t, s, rates,
-                                                 seeds, {.jobs = 1});
+                                                 seeds, SweepOptions::withJobs(1));
     const auto two = Sweep::overRatesAveraged(net, t, s, rates, seeds,
-                                              {.jobs = 2});
+                                              SweepOptions::withJobs(2));
     const auto hardware = Sweep::overRatesAveraged(
-        net, t, s, rates, seeds, {.jobs = 0});
+        net, t, s, rates, seeds, SweepOptions::withJobs(0));
 
     ASSERT_EQ(serial.size(), rates.size());
     expectIdentical(serial, two);
@@ -145,9 +145,9 @@ TEST(ParallelSweep, OverRatesBitIdenticalAcrossJobCounts)
     const NetworkConfig net = NetworkConfig::vc16();
 
     const auto serial =
-        Sweep::overRates(net, t, s, rates, {.jobs = 1});
+        Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(1));
     const auto parallel =
-        Sweep::overRates(net, t, s, rates, {.jobs = 2});
+        Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(2));
 
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -181,7 +181,7 @@ TEST(ParallelSweep, PoisonedPointIsIsolatedFromSiblings)
     TrafficConfig t;
     const auto points = Sweep::overRates(NetworkConfig::vc16(), t, s,
                                          {0.02, 0.04, 0.06},
-                                         {.jobs = 3});
+                                         SweepOptions::withJobs(3));
     ASSERT_EQ(points.size(), 3u);
     EXPECT_TRUE(points[0].report.completed);
     EXPECT_FALSE(points[0].failure.has_value());
@@ -226,7 +226,7 @@ TEST(ParallelSweep, AveragedSweepExcludesFailedSeeds)
     s.debugPoisonRate = 0.04;
     TrafficConfig t;
     const auto pts = Sweep::overRatesAveraged(
-        NetworkConfig::vc16(), t, s, {0.02, 0.04}, 2, {.jobs = 2});
+        NetworkConfig::vc16(), t, s, {0.02, 0.04}, 2, SweepOptions::withJobs(2));
     ASSERT_EQ(pts.size(), 2u);
     EXPECT_TRUE(pts[0].allCompleted);
     EXPECT_EQ(pts[0].failedSeeds, 0u);

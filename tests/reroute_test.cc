@@ -187,9 +187,9 @@ TEST(Reroute, SweepResultsBitIdenticalAcrossJobCounts)
     const NetworkConfig net = NetworkConfig::vc16();
     const TrafficConfig t = uniform(0.05);
     const std::vector<double> rates{0.03, 0.05};
-    const auto serial = Sweep::overRates(net, t, s, rates, {.jobs = 1});
+    const auto serial = Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(1));
     const auto threaded =
-        Sweep::overRates(net, t, s, rates, {.jobs = 3});
+        Sweep::overRates(net, t, s, rates, SweepOptions::withJobs(3));
 
     ASSERT_EQ(serial.size(), threaded.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {

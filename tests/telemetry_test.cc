@@ -505,9 +505,9 @@ TEST(SweepTelemetry, ExportsAreBitIdenticalAcrossJobs)
     const std::vector<double> rates{0.03, 0.06, 0.09};
 
     const auto serial =
-        Sweep::overRates(net, traffic, s, rates, SweepOptions{1});
+        Sweep::overRates(net, traffic, s, rates, SweepOptions::withJobs(1));
     const auto parallel =
-        Sweep::overRates(net, traffic, s, rates, SweepOptions{4});
+        Sweep::overRates(net, traffic, s, rates, SweepOptions::withJobs(4));
 
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -522,7 +522,7 @@ TEST(SweepTelemetry, DisabledSweepCapturesNothing)
 {
     const auto points = Sweep::overRates(
         NetworkConfig::vc16(), uniform(0.05), smallRun(), {0.05},
-        SweepOptions{1});
+        SweepOptions::withJobs(1));
     ASSERT_EQ(points.size(), 1u);
     EXPECT_TRUE(points[0].metricsCsv.empty());
     EXPECT_TRUE(points[0].traceJson.empty());

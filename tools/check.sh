@@ -15,9 +15,21 @@
 #                an opt-in debugging mode)
 #   5. kernel:   bench/kernel_speed serial flits/sec vs the committed
 #                BENCH_kernel.json — fails on a >10% regression on
-#                either reference config (vc16, k16n2)
-#   6. lint:     tools/orion_lint.py, plus clang-tidy when installed
-#   7. analysis: tools/orion_analyze.py (determinism/concurrency
+#                either reference config (vc16, k16n2). Runs twice:
+#                once plain (cancellation compiled in, token unset)
+#                and once under ORION_KERNEL_CANCEL=1 (live armed
+#                token that never fires), both against the same gate,
+#                proving the per-cycle CancelToken check is free on
+#                the hot path
+#   6. survive:  kill-and-resume drill — a checkpointed sweep is
+#                SIGKILLed mid-flight, resumed from its journal, and
+#                the merged CSV must be byte-identical to an
+#                uninterrupted run; then an --isolate sweep with a
+#                deliberately SIGSEGVing point (--debug-segv-rate)
+#                must record a structured worker-crash failure while
+#                every other point completes
+#   7. lint:     tools/orion_lint.py, plus clang-tidy when installed
+#   8. analysis: tools/orion_analyze.py (determinism/concurrency
 #                rules + thread-safety annotation coverage) and its
 #                fixture tests; when a clang++ is installed, a Clang
 #                build with -Wthread-safety promoted to errors
@@ -25,8 +37,8 @@
 #                annotations for real (they are no-ops under GCC)
 #
 # Usage: tools/check.sh [--tier1-only|--asan-only|--tsan-only|
-#                        --overhead-only|--kernel-only|--lint-only|
-#                        --analysis-only]
+#                        --overhead-only|--kernel-only|--survive-only|
+#                        --lint-only|--analysis-only]
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -149,7 +161,16 @@ if run_leg kernel; then
     ORION_REPS=5 ORION_BENCH_JSON="$kernel_dir/kernel_now.json" \
         ORION_KERNEL_BASELINE="$root/BENCH_kernel.json" \
         "$root/build/bench/kernel_speed"
-    python3 - "$kernel_dir/kernel_now.json" "$root/BENCH_kernel.json" <<'EOF'
+    # Second pass with a live (armed, never-firing) CancelToken on the
+    # cycle loop: the same gate must stay green, proving cancellation
+    # support costs nothing measurable on the hot path.
+    echo "== kernel: same gate with a live CancelToken (cancel mode) =="
+    ORION_REPS=5 ORION_KERNEL_CANCEL=1 \
+        ORION_BENCH_JSON="$kernel_dir/kernel_cancel.json" \
+        ORION_KERNEL_BASELINE="$root/BENCH_kernel.json" \
+        "$root/build/bench/kernel_speed"
+    for now_json in kernel_now.json kernel_cancel.json; do
+        python3 - "$kernel_dir/$now_json" "$root/BENCH_kernel.json" <<'EOF'
 import json, sys
 now = json.load(open(sys.argv[1]))["configs"]
 ref = json.load(open(sys.argv[2]))["configs"]
@@ -165,6 +186,56 @@ for name, r in ref.items():
 if fail:
     sys.exit("FAIL: " + "; ".join(fail))
 EOF
+    done
+fi
+
+if run_leg survive; then
+    echo "== survive: SIGKILL mid-sweep, resume, diff vs clean run =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j "$jobs" --target orion_sweep orion_sim
+    sdir="$root/build/survive"
+    rm -rf "$sdir"
+    mkdir -p "$sdir"
+    sweep="$root/build/tools/orion_sweep"
+    args="--rates 0.02:0.30:8 --sample 20000 --max-cycles 2000000"
+    # Reference: the same grid, uninterrupted.
+    $sweep $args --jobs 2 > "$sdir/reference.csv"
+    # Victim: checkpointed, then SIGKILLed (uncatchable — exercises
+    # the torn-tail tolerance, not the cooperative handlers).
+    $sweep $args --jobs 2 --checkpoint "$sdir/journal" \
+        > /dev/null 2> /dev/null &
+    victim=$!
+    sleep 0.7
+    kill -KILL "$victim" 2> /dev/null || true
+    wait "$victim" 2> /dev/null || true
+    # Resume at a different job count: merged CSV must be identical.
+    $sweep $args --jobs 4 --resume "$sdir/journal" > "$sdir/resumed.csv"
+    cmp "$sdir/reference.csv" "$sdir/resumed.csv"
+    echo "resumed CSV byte-identical to the uninterrupted run"
+
+    echo "== survive: --isolate absorbs a SIGSEGVing worker =="
+    rc=0
+    $sweep --rates 0.02:0.06:3 --sample 500 --isolate \
+        --debug-segv-rate 0.04 > "$sdir/isolate.csv" \
+        2> "$sdir/isolate.err" || rc=$?
+    [ "$rc" -eq 3 ] || {
+        echo "FAIL: expected exit 3 (failed point), got $rc"
+        cat "$sdir/isolate.err"
+        exit 1
+    }
+    grep -q "worker-crash" "$sdir/isolate.err" || {
+        echo "FAIL: no structured worker-crash diagnosis on stderr"
+        cat "$sdir/isolate.err"
+        exit 1
+    }
+    # The two healthy rates still completed and made it into the CSV.
+    healthy=$(grep -c "^0.0[26]00,1," "$sdir/isolate.csv" || true)
+    [ "$healthy" -eq 2 ] || {
+        echo "FAIL: expected 2 healthy points in CSV, got $healthy"
+        cat "$sdir/isolate.csv"
+        exit 1
+    }
+    echo "worker crash recorded; sibling points unaffected"
 fi
 
 if run_leg lint; then

@@ -45,6 +45,16 @@ Rules:
                        makes "remove one annotation" a CI failure even
                        on GCC-only hosts where the attributes are
                        no-ops.
+  signal-safety        functions reachable from an installed signal
+                       handler (sa_handler assignments and
+                       std::signal registrations) may only write
+                       `volatile std::sig_atomic_t` variables, call
+                       lock-free atomic operations, or call the small
+                       POSIX async-signal-safe set. Anything else —
+                       plain global writes, printf, allocation,
+                       locks — is a finding: a handler interrupting
+                       the simulation mid-cycle must not corrupt
+                       state it shares with it.
   unused-suppression   an `// analyze-allow:` comment that no longer
                        suppresses anything, names an unknown rule, or
                        lacks a `-- justification` is itself a finding,
@@ -76,6 +86,7 @@ RULES = (
     "fp-accum-drift",
     "raw-subscribe",
     "unguarded",
+    "signal-safety",
     "unused-suppression",
 )
 
@@ -90,6 +101,18 @@ ITERATOR_RE = re.compile(
 PARFOR_RE = re.compile(r"\bparallelFor\s*\(")
 RNG_DECL_RE = re.compile(r"\b(?:sim\s*::\s*)?Rng\s+([A-Za-z_]\w*)\s*[;({=]")
 SUBSCRIBE_RE = re.compile(r"\bsubscribeRaw\s*\(")
+HANDLER_ASSIGN_RE = re.compile(
+    r"\bsa_handler\s*=\s*&?\s*([A-Za-z_]\w*)")
+HANDLER_SIGNAL_RE = re.compile(
+    r"\bsignal\s*\(\s*SIG\w+\s*,\s*&?\s*([A-Za-z_]\w*)\s*\)")
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+WRITE_RE = re.compile(
+    r"(?:(?:\+\+|--)\s*([A-Za-z_]\w*)"
+    r"|([A-Za-z_]\w*)\s*(?:\+\+|--|(?:<<|>>|[+\-*/%&|^])?=(?!=)))")
+SIGATOMIC_DECL_RE = re.compile(
+    r"\bvolatile\s+(?:std\s*::\s*)?sig_atomic_t\s+([A-Za-z_]\w*)")
+ATOMIC_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?atomic\s*<[^;>]*>\s+([A-Za-z_]\w*)")
 CLASS_RE = re.compile(r"\b(class|struct)\b")
 ACCESS_RE = re.compile(r"\b(?:public|protected|private)\s*:(?!:)")
 ANNOTATION_RE = re.compile(r"\bORION_[A-Z_]+\b")
@@ -219,6 +242,8 @@ class Analyzer:
             if rule in dispatch:
                 for f in self.files:
                     dispatch[rule](f)
+        if "signal-safety" in self.rules:
+            self.check_signal_safety()
         if "unused-suppression" in self.rules:
             self.check_suppressions()
         self.findings.sort(
@@ -573,6 +598,139 @@ class Analyzer:
                     f"class '{cls}' lacks ORION_GUARDED_BY; annotate "
                     "it or add '// analyze-allow: unguarded -- "
                     "<reason>'", span=span)
+
+    # -- signal-safety -------------------------------------------------
+
+    # Callees a signal handler may always reach: lock-free atomic
+    # member operations plus the POSIX async-signal-safe calls the
+    # codebase has a use for. Everything else must either be defined
+    # in the scanned tree (and is then checked recursively) or is a
+    # finding.
+    SAFE_CALLS = {
+        "store", "load", "exchange", "compare_exchange_strong",
+        "compare_exchange_weak", "fetch_add", "fetch_sub", "fetch_and",
+        "fetch_or", "fetch_xor", "test_and_set", "clear",
+        "_exit", "_Exit", "abort", "raise", "kill", "write",
+    }
+    CONTROL_KEYWORDS = {
+        "if", "for", "while", "switch", "return", "sizeof", "alignof",
+        "catch", "assert", "static_assert", "decltype", "defined",
+    }
+
+    def function_defs(self, f):
+        """Yield (name, body_open, body_close) for every function-like
+        definition in f (free functions, methods, extern "C")."""
+        for m in CALL_RE.finditer(f.text):
+            name = m.group(1)
+            if name in self.CONTROL_KEYWORDS:
+                continue
+            open_p = f.text.index("(", m.start())
+            close_p = match_delim(f.text, open_p)
+            if close_p == -1:
+                continue
+            j = close_p + 1
+            while j < len(f.text):
+                rest = f.text[j:]
+                stripped = rest.lstrip()
+                off = j + (len(rest) - len(stripped))
+                spec = re.match(r"(?:const|noexcept|override|final)\b",
+                                stripped)
+                if spec:
+                    j = off + spec.end()
+                    continue
+                if stripped.startswith("("):  # noexcept(...) operand
+                    close2 = match_delim(f.text, off)
+                    if close2 == -1:
+                        break
+                    j = close2 + 1
+                    continue
+                break
+            rest = f.text[j:].lstrip()
+            if not rest.startswith("{"):
+                continue
+            body_open = j + (len(f.text[j:]) - len(rest))
+            body_close = match_delim(f.text, body_open)
+            if body_close == -1:
+                continue
+            yield name, body_open, body_close
+
+    def sig_atomic_names(self):
+        names = set()
+        for f in self.files:
+            names.update(SIGATOMIC_DECL_RE.findall(f.text))
+        return names
+
+    def atomic_names(self):
+        names = set()
+        for f in self.files:
+            names.update(ATOMIC_DECL_RE.findall(f.text))
+        return names
+
+    def scan_handler_body(self, f, body_open, body_close, sig_atomics,
+                          atomics, defs, queue):
+        body = f.text[body_open:body_close]
+
+        for m in WRITE_RE.finditer(body):
+            name = m.group(1) or m.group(2)
+            start = m.start(1) if m.group(1) else m.start(2)
+            lead_start = max(body.rfind(";", 0, start),
+                             body.rfind("{", 0, start),
+                             body.rfind("}", 0, start)) + 1
+            lead = body[lead_start:start].strip()
+            member_write = lead.endswith((".", "->"))
+            if not member_write and IDENT_RE.findall(lead):
+                continue  # declaration with initializer: a local
+            if name in sig_atomics or name in atomics:
+                continue
+            # A reassigned local declared earlier in this body is
+            # private to the handler's frame and always safe.
+            if re.search(rf"\b[A-Za-z_]\w*[\s*&]+{re.escape(name)}"
+                         rf"\s*[;=({{\[]", body[:start]):
+                continue
+            self.report(
+                f, f.line_of(body_open + start), "signal-safety",
+                f"write to '{name}' on a signal-handler path; handlers "
+                "may only store to volatile std::sig_atomic_t "
+                "variables or lock-free std::atomic objects")
+
+        for m in CALL_RE.finditer(body):
+            name = m.group(1)
+            if name in self.CONTROL_KEYWORDS or name in self.SAFE_CALLS:
+                continue
+            if name in defs:
+                queue.append(name)
+                continue
+            self.report(
+                f, f.line_of(body_open + m.start()), "signal-safety",
+                f"call to '{name}' on a signal-handler path; it is "
+                "neither defined in this tree (so it cannot be "
+                "verified) nor a known async-signal-safe operation")
+
+    def check_signal_safety(self):
+        defs = {}
+        handlers = []
+        for f in self.files:
+            for name, b, e in self.function_defs(f):
+                defs.setdefault(name, []).append((f, b, e))
+            for pat in (HANDLER_ASSIGN_RE, HANDLER_SIGNAL_RE):
+                for m in pat.finditer(f.text):
+                    name = m.group(1)
+                    if not name.startswith("SIG"):
+                        handlers.append(name)
+        if not handlers:
+            return
+        sig_atomics = self.sig_atomic_names()
+        atomics = self.atomic_names()
+        queue = handlers
+        seen = set()
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for f, b, e in defs.get(name, []):
+                self.scan_handler_body(f, b, e, sig_atomics, atomics,
+                                       defs, queue)
 
     # -- unused-suppression --------------------------------------------
 

@@ -10,27 +10,104 @@
  *   orion_sim --dims 8x8 --vcs 4 --buffer 8 --deadlock bubble \
  *             --pattern hotspot --hotspot 27 --rate 0.03 --csv
  *   orion_sim --preset cb --pattern trace --trace workload.txt
+ *
+ * Exit codes (documented in docs/ROBUSTNESS.md):
+ *   0  run completed (or hit the cycle cap without incident)
+ *   1  usage error or unexpected exception
+ *   2  run finished but a deadlock was suspected
+ *   3  a runtime check failed (diagnostic on stderr)
+ *   4  output I/O failure (--metrics-out / --trace-out / stdout;
+ *      disk full, closed pipe...)
+ *   5  interrupted by SIGINT/SIGTERM (stopped cooperatively)
+ *   6  --point-timeout deadline expired (stopped cooperatively)
  */
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/cancel.hh"
+#include "core/checkpoint.hh"
 #include "core/cli.hh"
+#include "core/forensics.hh"
 
 namespace {
+
+/** An output-stream failure (exit 4): the run itself was healthy, the
+ * results could not be delivered. */
+class IoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 void
 writeFile(const std::string& path, const std::string& content)
 {
+    errno = 0;
     std::ofstream out(path, std::ios::binary);
-    if (!out)
-        throw std::runtime_error("orion_sim: cannot open '" + path +
-                                 "' for writing");
+    if (!out) {
+        throw IoError("orion_sim: cannot open '" + path +
+                      "' for writing: " + std::strerror(errno));
+    }
     out << content;
+    out.flush();
+    out.close();
+    // badbit/failbit after flush+close covers ENOSPC, EPIPE on a
+    // FIFO, quota errors... anything the kernel only reports on
+    // write-back.
+    if (!out) {
+        throw IoError("orion_sim: i/o error writing '" + path +
+                      "' (disk full or stream closed?)");
+    }
+}
+
+/**
+ * The machine-mergeable report line for --report-out: the checkpoint
+ * entry wire format, with the failure triage mirroring what the
+ * in-process sweep records — so `orion_sweep --isolate` merges a
+ * worker's result bit-identically with an in-process run.
+ * Coordinates are written as (0, 0); the parent rewrites them.
+ */
+orion::core::CheckpointEntry
+reportEntry(orion::Simulation& simulation, const orion::Report& report)
+{
+    using orion::StopReason;
+    orion::core::CheckpointEntry e;
+    e.report = report;
+    switch (report.stopReason) {
+    case StopReason::CheckFailure:
+        e.failed = true;
+        e.failureReason = StopReason::CheckFailure;
+        e.failureMessage = report.checkFailureDiagnostic;
+        e.failureForensics = orion::forensicSnapshot(
+            simulation, report.checkFailureDiagnostic);
+        break;
+    case StopReason::Deadline:
+        e.failed = true;
+        e.failureReason = StopReason::Deadline;
+        e.failureMessage = "point exceeded its deadline after " +
+                           std::to_string(report.totalCycles) +
+                           " cycles";
+        e.failureForensics =
+            orion::forensicSnapshot(simulation,
+                                    "point deadline expired");
+        break;
+    case StopReason::Interrupted:
+        e.failed = true;
+        e.failureReason = StopReason::Interrupted;
+        e.failureMessage = "interrupted mid-run (SIGINT/SIGTERM)";
+        break;
+    default:
+        break;
+    }
+    return e;
 }
 
 } // namespace
@@ -42,11 +119,20 @@ main(int argc, char** argv)
 
     std::vector<std::string> args(argv + 1, argv + argc);
     try {
-        const cli::Options opts = cli::parse(args);
+        cli::Options opts = cli::parse(args);
         if (opts.helpRequested) {
             std::fputs(cli::usage().c_str(), stdout);
             return 0;
         }
+
+        // A closed downstream pipe must surface as a write error
+        // (exit 4), not a silent SIGPIPE death.
+        std::signal(SIGPIPE, SIG_IGN);
+        core::installInterruptHandlers();
+        core::CancelToken token(&core::interruptToken());
+        if (opts.pointTimeoutSeconds > 0.0)
+            token.armDeadline(opts.pointTimeoutSeconds);
+        opts.sim.cancel = &token;
 
         Simulation simulation(opts.network, opts.traffic, opts.sim);
         const Report report = simulation.run();
@@ -55,17 +141,47 @@ main(int argc, char** argv)
             writeFile(opts.metricsOut, simulation.metricsCsv());
         if (!opts.traceOut.empty())
             writeFile(opts.traceOut, simulation.traceJson("orion_sim"));
+        if (!opts.reportOut.empty()) {
+            writeFile(opts.reportOut,
+                      core::serializeEntry(
+                          reportEntry(simulation, report)) +
+                          "\n");
+        }
 
         const std::string out = opts.csv
                                     ? cli::formatCsvReport(opts, report)
                                     : cli::formatReport(opts, report);
         std::fputs(out.c_str(), stdout);
-        if (report.stopReason == StopReason::CheckFailure) {
+        if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+            std::fprintf(stderr,
+                         "orion_sim: i/o error writing the report to "
+                         "stdout\n");
+            return 4;
+        }
+        switch (report.stopReason) {
+        case StopReason::CheckFailure:
             std::fprintf(stderr, "orion_sim: check failure: %s\n",
                          report.checkFailureDiagnostic.c_str());
             return 3;
+        case StopReason::Interrupted:
+            std::fprintf(stderr,
+                         "orion_sim: interrupted (signal %d); partial "
+                         "report above\n",
+                         core::interruptSignal());
+            return 5;
+        case StopReason::Deadline:
+            std::fprintf(stderr,
+                         "orion_sim: --point-timeout expired after "
+                         "%llu cycles; partial report above\n",
+                         static_cast<unsigned long long>(
+                             report.totalCycles));
+            return 6;
+        default:
+            return report.deadlockSuspected ? 2 : 0;
         }
-        return report.deadlockSuspected ? 2 : 0;
+    } catch (const IoError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 4;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;

@@ -17,22 +17,52 @@
  *   --trace-dir DIR            write each point's Chrome trace JSON
  *                              to DIR/point_NNN.json (per-seed
  *                              subdirectories with --seeds N>1)
+ *   --checkpoint FILE          journal each finished cell to FILE
+ *   --resume FILE              skip cells already journaled in FILE
+ *                              (and keep appending to it); the merged
+ *                              CSV is byte-identical to an
+ *                              uninterrupted run at any --jobs
+ *   --isolate                  run each point in a fork/exec'd
+ *                              orion_sim subprocess: a crash, OOM, or
+ *                              wedge is one structured failed row,
+ *                              never a dead sweep
+ *   --isolate-exe PATH         the orion_sim binary (default: next to
+ *                              this binary)
+ *   --isolate-mem MB           worker RLIMIT_AS cap in MiB
+ *   --isolate-cpu SEC          worker RLIMIT_CPU cap in seconds
+ *
+ * Exit codes: 0 ok; 1 usage error or unexpected exception; 3 one or
+ * more points failed (rows for healthy points still printed); 5
+ * interrupted by SIGINT/SIGTERM (no CSV; a resume hint is printed
+ * when journaling). See docs/ROBUSTNESS.md.
  *
  * Example:
  *   orion_sweep --preset vc64 --rates 0.02:0.18:9 --seeds 3 > vc64.csv
  */
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "core/cancel.hh"
+#include "core/checkpoint.hh"
 #include "core/cli.hh"
+#include "core/executor.hh"
+#include "core/isolate.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
+#include "sim/rng.hh"
 
 using namespace orion;
 
@@ -66,6 +96,265 @@ writeFile(const std::string& path, const std::string& content)
     out << content;
 }
 
+SweepPoint
+pointFromEntry(const core::CheckpointEntry& e, double rate,
+               bool from_checkpoint)
+{
+    SweepPoint p;
+    p.injectionRate = rate;
+    p.report = e.report;
+    p.attempts = e.attempts;
+    p.ran = true;
+    p.fromCheckpoint = from_checkpoint;
+    if (e.failed) {
+        p.failure = PointFailure{e.failureReason, e.failureMessage,
+                                 e.failureForensics};
+    }
+    return p;
+}
+
+/** Everything the isolated-worker orchestration needs per cell. */
+struct IsolateConfig
+{
+    std::string exe;
+    /** The orion_sim argv tail shared by every cell (the sweep's own
+     * options already stripped). */
+    std::vector<std::string> rest;
+    std::uint64_t baseSeed = 0;
+    unsigned maxAttempts = 2;
+    unsigned backoffMs = 0;
+    double pointTimeoutSeconds = 0.0;
+    std::uint64_t memMb = 0;
+    std::uint64_t cpuSeconds = 0;
+    std::string tmpDir;
+    core::CheckpointJournal* journal = nullptr;
+};
+
+/** Read and parse the single entry line a worker wrote with
+ * --report-out. Returns false when the file is missing, empty, or
+ * corrupt (a crashed worker). */
+bool
+readWorkerEntry(const std::string& path, core::CheckpointEntry& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line.empty())
+        return false;
+    try {
+        out = core::parseEntry(line);
+    } catch (const core::CheckpointError&) {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * One sweep cell, executed in a fork/exec'd orion_sim. Mirrors the
+ * in-process retry contract exactly: attempt k runs on
+ * sim::deriveSeed(seed, i, k * kRetrySeedOffset), check failures get
+ * retried, deadline/interrupt outcomes do not. The worker passes its
+ * report back through --report-out in the checkpoint entry format
+ * (exact hexfloat doubles), so the merged CSV is bit-identical to an
+ * in-process sweep; a crash or OOM becomes a structured
+ * StopReason::WorkerCrash failure with the exit status and stderr
+ * tail attached.
+ */
+SweepPoint
+runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
+{
+    SweepPoint p;
+    p.injectionRate = rate;
+    std::string crash_message;
+    std::string worker_exit;
+    for (unsigned attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
+        if (core::interruptToken().cancelled()) {
+            p.ran = true;
+            p.report.stopReason = StopReason::Interrupted;
+            p.failure = PointFailure{
+                StopReason::Interrupted,
+                "sweep interrupted before the cell could run",
+                std::string{}};
+            return p;
+        }
+        if (attempt > 0 && cfg.backoffMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg.backoffMs));
+        }
+        p.ran = true;
+        p.attempts = attempt + 1;
+
+        const std::uint64_t seed = sim::deriveSeed(
+            cfg.baseSeed, i, attempt * kRetrySeedOffset);
+        const std::string report_path =
+            cfg.tmpDir + "/point_" + std::to_string(i) + "_" +
+            std::to_string(attempt) + ".entry";
+
+        core::IsolateOptions io;
+        io.argv.push_back(cfg.exe);
+        io.argv.insert(io.argv.end(), cfg.rest.begin(),
+                       cfg.rest.end());
+        // Appended flags win over anything in rest: the worker runs
+        // exactly this cell's rate and fully derived seed. The rate
+        // rides as a hexfloat so the worker reconstructs the
+        // identical double.
+        const char* extra[] = {"--rate", "--seed", "--report-out"};
+        const std::string vals[] = {core::exactDouble(rate),
+                                    std::to_string(seed),
+                                    report_path};
+        for (std::size_t f = 0; f < 3; ++f) {
+            io.argv.push_back(extra[f]);
+            io.argv.push_back(vals[f]);
+        }
+        // The worker's own --point-timeout (still in rest) handles
+        // the cooperative deadline with forensics; the parent
+        // watchdog is only the backstop for a wedged worker.
+        io.timeoutSeconds = cfg.pointTimeoutSeconds > 0.0
+                                ? cfg.pointTimeoutSeconds * 2.0 + 5.0
+                                : 0.0;
+        io.maxAddressSpaceBytes = cfg.memMb * 1024 * 1024;
+        io.maxCpuSeconds = cfg.cpuSeconds;
+        io.quietStdout = true;
+        io.cancel = &core::interruptToken();
+
+        const core::IsolateResult res = core::runIsolated(io);
+        core::CheckpointEntry entry;
+        const bool have_entry = readWorkerEntry(report_path, entry);
+        std::remove(report_path.c_str());
+
+        if (res.interrupted || (res.exited && res.exitCode == 5)) {
+            p.report.stopReason = StopReason::Interrupted;
+            p.failure = PointFailure{
+                StopReason::Interrupted,
+                "interrupted mid-run (SIGINT/SIGTERM)",
+                std::string{}};
+            return p;
+        }
+        if (res.timedOut) {
+            // The worker blew past even the backstop (a wedge the
+            // cooperative deadline could not reach); not retried,
+            // not journaled.
+            p.report.stopReason = StopReason::Deadline;
+            p.failure = PointFailure{
+                StopReason::Deadline,
+                "worker exceeded the watchdog deadline and was "
+                "killed (" +
+                    res.describe() + ")",
+                std::string{}};
+            return p;
+        }
+        if (res.exited && res.exitCode == 6) {
+            // Cooperative --point-timeout inside the worker: the
+            // report entry carries the deadline forensics.
+            p.report.stopReason = StopReason::Deadline;
+            if (have_entry) {
+                p.report = entry.report;
+                p.failure =
+                    PointFailure{StopReason::Deadline,
+                                 entry.failureMessage,
+                                 entry.failureForensics};
+            } else {
+                p.failure = PointFailure{
+                    StopReason::Deadline,
+                    "worker hit --point-timeout (exit 6)",
+                    std::string{}};
+            }
+            return p;
+        }
+        if (res.healthyExit() && have_entry) {
+            p.report = entry.report;
+            if (entry.failed) {
+                p.failure = PointFailure{entry.failureReason,
+                                         entry.failureMessage,
+                                         entry.failureForensics};
+                if (entry.failureReason ==
+                        StopReason::CheckFailure &&
+                    attempt + 1 < cfg.maxAttempts) {
+                    continue; // the in-process retry contract
+                }
+            } else {
+                p.failure.reset();
+            }
+            if (cfg.journal != nullptr) {
+                entry.rateIndex = i;
+                entry.seedIndex = 0;
+                entry.attempts = p.attempts;
+                entry.workerExit = res.describe();
+                cfg.journal->append(entry);
+            }
+            return p;
+        }
+
+        // Crash, OOM kill, exec failure, or a healthy-looking exit
+        // that produced no parseable report: retry, then record a
+        // structured worker-crash failure.
+        worker_exit = res.describe();
+        crash_message = "worker crashed (" + worker_exit + ")";
+        if (res.healthyExit())
+            crash_message =
+                "worker " + worker_exit +
+                " but wrote no parseable report";
+        if (!res.stderrTail.empty())
+            crash_message += ": " + res.stderrTail;
+    }
+
+    p.report = Report{};
+    p.report.stopReason = StopReason::WorkerCrash;
+    p.failure = PointFailure{StopReason::WorkerCrash, crash_message,
+                             std::string{}};
+    if (cfg.journal != nullptr) {
+        core::CheckpointEntry entry;
+        entry.rateIndex = i;
+        entry.seedIndex = 0;
+        entry.attempts = p.attempts;
+        entry.report = p.report;
+        entry.failed = true;
+        entry.failureReason = StopReason::WorkerCrash;
+        entry.failureMessage = crash_message;
+        entry.workerExit = worker_exit;
+        cfg.journal->append(entry);
+    }
+    return p;
+}
+
+/** The isolated-mode sweep driver: same fan-out, merge order, and
+ * resume semantics as Sweep::overRates, with each cell in its own
+ * process. */
+std::vector<SweepPoint>
+isolatedSweep(const std::vector<double>& rates, unsigned jobs,
+              const IsolateConfig& cfg,
+              const std::vector<core::CheckpointEntry>* resume)
+{
+    std::unordered_map<std::uint64_t, const core::CheckpointEntry*>
+        cached;
+    if (resume != nullptr) {
+        for (const core::CheckpointEntry& e : *resume) {
+            if (e.rateIndex < rates.size() && e.seedIndex == 0)
+                cached[e.rateIndex] = &e; // duplicates: last wins
+        }
+    }
+
+    core::WorkerSlots<SweepPoint> points(rates.size());
+    core::parallelFor(
+        jobs, rates.size(),
+        [&](std::size_t i) {
+            core::RoleGuard guard(points.role());
+            const auto hit = cached.find(i);
+            if (hit != cached.end()) {
+                points.slot(i) = pointFromEntry(
+                    *hit->second, rates[i], /*from_checkpoint=*/true);
+                return;
+            }
+            points.slot(i) = runIsolatedPoint(i, rates[i], cfg);
+        },
+        &core::interruptToken());
+    std::vector<SweepPoint> out = std::move(points).take();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].injectionRate = rates[i];
+    return out;
+}
+
 } // namespace
 
 int
@@ -76,13 +365,26 @@ main(int argc, char** argv)
     unsigned seeds = 1;
     std::string metrics_dir;
     std::string trace_dir;
+    std::string checkpoint_path;
+    std::string resume_path;
+    bool isolate = false;
+    std::string isolate_exe;
+    std::uint64_t isolate_mem_mb = 0;
+    std::uint64_t isolate_cpu_s = 0;
 
     // Extract the sweep-only options, pass the rest to the shared
-    // parser.
+    // parser (and, in --isolate mode, to the worker processes).
     std::vector<std::string> rest;
     for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--isolate") {
+            isolate = true;
+            continue;
+        }
         if (args[i] == "--rates" || args[i] == "--seeds" ||
-            args[i] == "--metrics-dir" || args[i] == "--trace-dir") {
+            args[i] == "--metrics-dir" || args[i] == "--trace-dir" ||
+            args[i] == "--checkpoint" || args[i] == "--resume" ||
+            args[i] == "--isolate-exe" ||
+            args[i] == "--isolate-mem" || args[i] == "--isolate-cpu") {
             const std::string opt = args[i];
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "orion_sweep: %s: missing value\n",
@@ -97,8 +399,18 @@ main(int argc, char** argv)
                         std::stoul(args[++i]));
                 else if (opt == "--metrics-dir")
                     metrics_dir = args[++i];
-                else
+                else if (opt == "--trace-dir")
                     trace_dir = args[++i];
+                else if (opt == "--checkpoint")
+                    checkpoint_path = args[++i];
+                else if (opt == "--resume")
+                    resume_path = args[++i];
+                else if (opt == "--isolate-exe")
+                    isolate_exe = args[++i];
+                else if (opt == "--isolate-mem")
+                    isolate_mem_mb = std::stoull(args[++i]);
+                else
+                    isolate_cpu_s = std::stoull(args[++i]);
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "orion_sweep: bad %s: %s\n",
                              opt.c_str(), e.what());
@@ -110,6 +422,41 @@ main(int argc, char** argv)
     }
     if (seeds < 1) {
         std::fprintf(stderr, "orion_sweep: --seeds must be >= 1\n");
+        return 1;
+    }
+    if (!checkpoint_path.empty() && !resume_path.empty()) {
+        std::fprintf(stderr,
+                     "orion_sweep: --checkpoint and --resume are "
+                     "mutually exclusive (--resume keeps appending "
+                     "to its journal)\n");
+        return 1;
+    }
+    const bool journaling =
+        !checkpoint_path.empty() || !resume_path.empty();
+    if (journaling && (!metrics_dir.empty() || !trace_dir.empty())) {
+        std::fprintf(stderr,
+                     "orion_sweep: --checkpoint/--resume cannot be "
+                     "combined with --metrics-dir/--trace-dir "
+                     "(telemetry exports are not journaled)\n");
+        return 1;
+    }
+    if (isolate && seeds > 1) {
+        std::fprintf(stderr,
+                     "orion_sweep: --isolate supports --seeds 1 "
+                     "only\n");
+        return 1;
+    }
+    if (isolate && (!metrics_dir.empty() || !trace_dir.empty())) {
+        std::fprintf(stderr,
+                     "orion_sweep: --isolate cannot be combined with "
+                     "--metrics-dir/--trace-dir\n");
+        return 1;
+    }
+    if (!isolate && (!isolate_exe.empty() || isolate_mem_mb != 0 ||
+                     isolate_cpu_s != 0)) {
+        std::fprintf(stderr,
+                     "orion_sweep: --isolate-exe/--isolate-mem/"
+                     "--isolate-cpu require --isolate\n");
         return 1;
     }
 
@@ -128,14 +475,38 @@ main(int argc, char** argv)
                        "  --trace-dir DIR            per-point Chrome "
                        "traces (DIR/point_NNN.json;\n"
                        "                             per-seed subdirs "
-                       "with --seeds N>1)\n",
+                       "with --seeds N>1)\n"
+                       "  --checkpoint FILE          journal finished "
+                       "cells to FILE (crash-safe)\n"
+                       "  --resume FILE              skip cells "
+                       "journaled in FILE, append new ones;\n"
+                       "                             merged output is "
+                       "byte-identical to an\n"
+                       "                             uninterrupted run "
+                       "at any --jobs\n"
+                       "  --isolate                  one orion_sim "
+                       "subprocess per point (crashes\n"
+                       "                             become structured "
+                       "failed rows)\n"
+                       "  --isolate-exe PATH         worker binary "
+                       "(default: next to orion_sweep)\n"
+                       "  --isolate-mem MB           worker RLIMIT_AS "
+                       "cap (MiB)\n"
+                       "  --isolate-cpu SEC          worker RLIMIT_CPU "
+                       "cap (seconds)\n",
                        stdout);
             return 0;
         }
 
+        // One Ctrl-C/SIGTERM stops every in-flight point
+        // cooperatively; a second one kills the process the
+        // old-fashioned way (the handler stays installed but the
+        // token is already cancelled).
+        std::signal(SIGPIPE, SIG_IGN);
+        core::installInterruptHandlers();
+
         const double zero_load = Sweep::zeroLoadLatency(
             opts.network, opts.traffic, opts.sim);
-        const SweepOptions sweep_opts{opts.jobs};
 
         // Per-point telemetry export: the dir options imply the same
         // telemetry defaults --metrics-out/--trace-out do in
@@ -152,10 +523,75 @@ main(int argc, char** argv)
             std::filesystem::create_directories(trace_dir);
         }
 
+        // Checkpoint plumbing: the fingerprint binds the journal to
+        // this exact configuration and grid; a mismatched --resume is
+        // a structured error, never a silent mix of results.
+        const std::uint64_t fingerprint = core::sweepFingerprint(
+            opts.network, opts.traffic, sim_cfg, rates, seeds);
+        std::vector<core::CheckpointEntry> resume_entries;
+        std::unique_ptr<core::CheckpointJournal> journal;
+        if (!resume_path.empty()) {
+            core::CheckpointLoad load =
+                core::loadCheckpoint(resume_path, fingerprint);
+            resume_entries = std::move(load.entries);
+            if (load.truncatedTail) {
+                std::fprintf(stderr,
+                             "orion_sweep: note: dropped a torn "
+                             "final journal line (crash artifact); "
+                             "that cell reruns\n");
+            }
+            std::fprintf(stderr,
+                         "orion_sweep: resuming: %zu cells cached in "
+                         "'%s'\n",
+                         resume_entries.size(), resume_path.c_str());
+            journal = std::make_unique<core::CheckpointJournal>(
+                resume_path, fingerprint, /*resume=*/true);
+        } else if (!checkpoint_path.empty()) {
+            journal = std::make_unique<core::CheckpointJournal>(
+                checkpoint_path, fingerprint, /*resume=*/false);
+        }
+        const std::string journal_path =
+            !resume_path.empty() ? resume_path : checkpoint_path;
+
+        SweepOptions sweep_opts;
+        sweep_opts.jobs = opts.jobs;
+        sweep_opts.retry =
+            RetryPolicy{opts.pointRetries, opts.pointBackoffMs};
+        sweep_opts.pointTimeoutSeconds = opts.pointTimeoutSeconds;
+        sweep_opts.cancel = &core::interruptToken();
+        sweep_opts.journal = journal.get();
+        sweep_opts.resume =
+            resume_path.empty() ? nullptr : &resume_entries;
+
+        // After any sweep: an interrupt means no CSV (a partial
+        // table masquerading as a full sweep is worse than none) —
+        // print the resume recipe instead and exit 5.
+        const auto interruptedEpilogue = [&]() -> int {
+            std::fprintf(stderr,
+                         "orion_sweep: interrupted (signal %d) "
+                         "mid-sweep; no CSV emitted\n",
+                         core::interruptSignal());
+            if (!journal_path.empty()) {
+                std::fprintf(stderr,
+                             "orion_sweep: finished cells are "
+                             "journaled; rerun with --resume '%s' "
+                             "(instead of --checkpoint) to pick up "
+                             "where this run stopped\n",
+                             journal_path.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "orion_sweep: no --checkpoint journal, "
+                             "so finished cells were discarded\n");
+            }
+            return 5;
+        };
+
         if (seeds > 1) {
             const auto points = Sweep::overRatesAveraged(
                 opts.network, opts.traffic, sim_cfg, rates, seeds,
                 sweep_opts);
+            if (core::interruptToken().cancelled())
+                return interruptedEpilogue();
 
             // Multi-seed telemetry lands in per-seed subdirectories:
             // DIR/seed_K/point_NNN.{csv,json} (failed seeds captured
@@ -188,10 +624,13 @@ main(int argc, char** argv)
             report::Table t;
             t.headers = {"rate",        "completed",   "latency_mean",
                          "latency_min", "latency_max", "throughput",
-                         "power_w",     "failed_seeds"};
+                         "power_w",     "failed_seeds", "attempts"};
             unsigned failed = 0;
             for (const auto& p : points) {
                 failed += p.failedSeeds;
+                unsigned attempts = 0;
+                for (unsigned a : p.attemptsBySeed)
+                    attempts += a;
                 t.addRow({
                     report::fmt(p.injectionRate, 4),
                     p.allCompleted ? "1" : "0",
@@ -201,6 +640,7 @@ main(int argc, char** argv)
                     report::fmt(p.meanThroughput, 4),
                     report::fmt(p.meanPowerWatts, 4),
                     std::to_string(p.failedSeeds),
+                    std::to_string(attempts),
                 });
             }
             std::fputs(report::formatCsv(t).c_str(), stdout);
@@ -224,8 +664,42 @@ main(int argc, char** argv)
             return 0;
         }
 
-        const auto points = Sweep::overRates(
-            opts.network, opts.traffic, sim_cfg, rates, sweep_opts);
+        std::vector<SweepPoint> points;
+        if (isolate) {
+            IsolateConfig cfg;
+            cfg.exe = isolate_exe;
+            if (cfg.exe.empty()) {
+                // Default: the orion_sim built next to this binary.
+                const std::filesystem::path self(argv[0]);
+                cfg.exe = (self.parent_path() / "orion_sim").string();
+            }
+            cfg.rest = rest;
+            cfg.baseSeed = sim_cfg.seed;
+            cfg.maxAttempts = std::max(1u, opts.pointRetries);
+            cfg.backoffMs = opts.pointBackoffMs;
+            cfg.pointTimeoutSeconds = opts.pointTimeoutSeconds;
+            cfg.memMb = isolate_mem_mb;
+            cfg.cpuSeconds = isolate_cpu_s;
+            cfg.journal = journal.get();
+            char tmpl[] = "/tmp/orion_sweep.XXXXXX";
+            if (::mkdtemp(tmpl) == nullptr) {
+                std::fprintf(stderr,
+                             "orion_sweep: mkdtemp failed for worker "
+                             "report files\n");
+                return 1;
+            }
+            cfg.tmpDir = tmpl;
+            points = isolatedSweep(
+                rates, opts.jobs, cfg,
+                resume_path.empty() ? nullptr : &resume_entries);
+            std::error_code ec;
+            std::filesystem::remove_all(cfg.tmpDir, ec);
+        } else {
+            points = Sweep::overRates(opts.network, opts.traffic,
+                                      sim_cfg, rates, sweep_opts);
+        }
+        if (core::interruptToken().cancelled())
+            return interruptedEpilogue();
 
         for (std::size_t i = 0; i < points.size(); ++i) {
             if (!metrics_dir.empty())
@@ -239,7 +713,7 @@ main(int argc, char** argv)
         report::Table t;
         t.headers = {"rate",    "completed", "latency", "p95",
                      "throughput", "power_w", "buffer_w", "crossbar_w",
-                     "arbiter_w",  "link_w",  "status"};
+                     "arbiter_w",  "link_w",  "status",   "attempts"};
         for (const auto& p : points) {
             const Report& r = p.report;
             t.addRow({
@@ -254,6 +728,7 @@ main(int argc, char** argv)
                 report::fmt(r.breakdownWatts.arbiter, 5),
                 report::fmt(r.breakdownWatts.link, 4),
                 stopReasonName(r.stopReason),
+                std::to_string(p.attempts),
             });
         }
         std::fputs(report::formatCsv(t).c_str(), stdout);
