@@ -19,7 +19,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/build_info.hh"
 #include "core/config.hh"
+#include "core/log.hh"
 #include "core/report.hh"
 #include "core/simulation.hh"
 #include "core/sweep.hh"
@@ -74,6 +76,34 @@ inline std::string
 powerCell(const Report& r)
 {
     return report::fmt(r.networkPowerWatts, 2);
+}
+
+/**
+ * The "build" provenance object for bench JSON outputs, as one
+ * indented member line (no trailing comma). Informational only: the
+ * regression gates in tools/check.sh read specific config keys and
+ * never look at this object, so provenance can evolve without
+ * re-baselining.
+ */
+inline std::string
+buildJsonObject(const char* indent = "  ")
+{
+    namespace log = core::log;
+    const core::BuildInfo& b = core::buildInfo();
+    std::string j;
+    j += indent;
+    j += "\"build\": {\"compiler\": \"";
+    j += log::jsonEscape(b.compiler);
+    j += "\", \"flags\": \"";
+    j += log::jsonEscape(b.flags);
+    j += "\", \"git_sha\": \"";
+    j += log::jsonEscape(b.gitSha);
+    j += "\", \"build_type\": \"";
+    j += log::jsonEscape(b.buildType);
+    j += "\", \"host\": \"";
+    j += log::jsonEscape(core::hostName());
+    j += "\"}";
+    return j;
 }
 
 } // namespace orion::bench

@@ -254,8 +254,9 @@ main()
                  "  \"benchmark\": \"kernel_speed\",\n"
                  "  \"serial\": true,\n"
                  "  \"reps\": %u,\n"
+                 "%s,\n"
                  "  \"configs\": {\n",
-                 reps);
+                 reps, buildJsonObject().c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
         const std::optional<double> base =
             baseline_json.empty()

@@ -141,6 +141,7 @@ main()
         f,
         "{\n"
         "  \"benchmark\": \"parallel_sweep\",\n"
+        "%s,\n"
         "  \"network\": \"vc16\",\n"
         "  \"rates\": %zu,\n"
         "  \"seeds_per_rate\": %u,\n"
@@ -155,6 +156,7 @@ main()
         "%s"
         "  \"bit_identical\": %s\n"
         "}\n",
+        buildJsonObject().c_str(),
         rates.size(), seeds, rates.size() * seeds,
         static_cast<unsigned long long>(sim.samplePackets), hw, jobs,
         serial.wallSeconds, serial.pointsPerSecond,

@@ -1,0 +1,40 @@
+#include "core/build_info.hh"
+
+#include <unistd.h>
+
+// Fallbacks keep the TU compilable outside CMake (e.g. tooling that
+// compiles single files without the provenance definitions).
+#ifndef ORION_BUILD_GIT_SHA
+#define ORION_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef ORION_BUILD_COMPILER
+#define ORION_BUILD_COMPILER "unknown"
+#endif
+#ifndef ORION_BUILD_FLAGS
+#define ORION_BUILD_FLAGS ""
+#endif
+#ifndef ORION_BUILD_TYPE
+#define ORION_BUILD_TYPE "unknown"
+#endif
+
+namespace orion::core {
+
+const BuildInfo&
+buildInfo()
+{
+    static const BuildInfo info{ORION_BUILD_COMPILER, ORION_BUILD_FLAGS,
+                                ORION_BUILD_GIT_SHA, ORION_BUILD_TYPE};
+    return info;
+}
+
+std::string
+hostName()
+{
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof buf - 1) != 0)
+        return "unknown";
+    buf[sizeof buf - 1] = '\0';
+    return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+} // namespace orion::core

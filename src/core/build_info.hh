@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Build and host provenance for run manifests and bench JSON (see
+ * docs/OBSERVABILITY.md, "Run-level observability").
+ *
+ * The compiler, flags, git sha and build type are stamped into the
+ * library at configure time (src/CMakeLists.txt confines the
+ * definitions to build_info.cc). Provenance is informational only: it
+ * never participates in config fingerprints or regression gates, so a
+ * stale sha after local commits cannot invalidate results.
+ */
+#ifndef ORION_CORE_BUILD_INFO_HH
+#define ORION_CORE_BUILD_INFO_HH
+
+#include <string>
+
+namespace orion::core {
+
+/// Static facts about the binary, embedded at configure time.
+struct BuildInfo
+{
+    const char* compiler;  ///< e.g. "GNU 13.2.0"
+    const char* flags;     ///< CMAKE_CXX_FLAGS + build-type flags
+    const char* gitSha;    ///< short sha, "-dirty" suffix if unclean
+    const char* buildType; ///< e.g. "RelWithDebInfo"
+};
+
+/// The provenance baked into this build.
+const BuildInfo& buildInfo();
+
+/// Hostname of the machine running the binary ("unknown" on failure).
+std::string hostName();
+
+} // namespace orion::core
+
+#endif // ORION_CORE_BUILD_INFO_HH

@@ -301,6 +301,20 @@ parse(const std::vector<std::string>& args)
                 static_cast<unsigned>(parseU64(a, value()));
         } else if (a == "--report-out") {
             o.reportOut = value();
+        } else if (a == "--log-out") {
+            o.logOut = value();
+        } else if (a == "--log-level") {
+            const std::string& v = value();
+            if (v != "debug" && v != "info" && v != "warn" &&
+                v != "error") {
+                fail("--log-level: wants debug|info|warn|error: '" +
+                     v + "'");
+            }
+            o.logLevel = v;
+        } else if (a == "--manifest-out") {
+            o.manifestOut = value();
+        } else if (a == "--profile-phases") {
+            o.sim.profilePhases = true;
         } else if (a == "--jobs") {
             const unsigned long long n = parseU64(a, value());
             if (n < 1)
@@ -448,7 +462,18 @@ usage()
            "  --trace-out FILE     Chrome trace-event JSON (load in\n"
            "                       Perfetto / chrome://tracing)\n"
            "  --trace-capacity N   trace ring-buffer records "
-           "(default 65536)\n";
+           "(default 65536)\n"
+           "\n"
+           "observability (defaults: disabled; docs/OBSERVABILITY.md):\n"
+           "  --log-out FILE       structured JSON-lines log (also via\n"
+           "                       the ORION_LOG environment variable)\n"
+           "  --log-level L        debug|info|warn|error (default "
+           "info)\n"
+           "  --manifest-out FILE  run manifest JSON (config\n"
+           "                       fingerprint, build info, rusage,\n"
+           "                       stop reason)\n"
+           "  --profile-phases     attribute kernel time to simulator\n"
+           "                       stages (reported in the manifest)\n";
 }
 
 std::string

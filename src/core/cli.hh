@@ -73,6 +73,18 @@ struct Options
      * bit-identically with in-process results.
      */
     std::string reportOut;
+    /**
+     * Structured JSON-lines log sink (--log-out; empty = stderr-only
+     * diagnostics, byte-identical to builds without the logger). Also
+     * settable via the ORION_LOG environment variable; the flag wins.
+     */
+    std::string logOut;
+    /** Minimum level written to the log sink (--log-level
+     * debug|info|warn|error; default info). */
+    std::string logLevel = "info";
+    /** Write the run manifest JSON here (--manifest-out; empty =
+     * don't). See core/manifest.hh for the schema. */
+    std::string manifestOut;
     /** --help was requested: print usage() and exit successfully. */
     bool helpRequested = false;
 };

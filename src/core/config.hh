@@ -8,6 +8,7 @@
 #ifndef ORION_CORE_CONFIG_HH
 #define ORION_CORE_CONFIG_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/telemetry.hh"
@@ -196,6 +197,23 @@ struct SimConfig
      * semantics. See core/cancel.hh and docs/ROBUSTNESS.md.
      */
     core::CancelToken* cancel = nullptr;
+    /**
+     * Live progress counter (not owned; may be null). When set, the
+     * simulation registers a periodic hook that publishes the current
+     * cycle into it every few thousand cycles — one relaxed atomic
+     * store, read by the sweep heartbeat thread (core/progress.hh).
+     * Observability only: excluded from sweepFingerprint like
+     * telemetry and cancellation, because it never changes report
+     * bytes.
+     */
+    std::atomic<std::uint64_t>* progressCycles = nullptr;
+    /**
+     * Attribute kernel wall time to simulator stages via a
+     * core::PhaseProfiler owned by the Simulation (--profile-phases;
+     * see core/profile.hh). Observability only: excluded from
+     * sweepFingerprint; results are bit-identical either way.
+     */
+    bool profilePhases = false;
 };
 
 } // namespace orion

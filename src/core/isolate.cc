@@ -130,7 +130,12 @@ runIsolated(const IsolateOptions& opts)
 
     for (;;) {
         int status = 0;
-        const pid_t done = ::waitpid(pid, &status, WNOHANG);
+        // wait4 = waitpid + the child's rusage, which is the only
+        // point the kernel reports a dead child's CPU time and peak
+        // RSS (per-point resource accounting).
+        struct rusage ru;
+        std::memset(&ru, 0, sizeof ru);
+        const pid_t done = ::wait4(pid, &status, WNOHANG, &ru);
         if (done == pid) {
             if (WIFEXITED(status)) {
                 res.exited = true;
@@ -138,6 +143,13 @@ runIsolated(const IsolateOptions& opts)
             } else if (WIFSIGNALED(status)) {
                 res.termSignal = WTERMSIG(status);
             }
+            res.haveRusage = true;
+            res.cpuSeconds =
+                static_cast<double>(ru.ru_utime.tv_sec) +
+                static_cast<double>(ru.ru_utime.tv_usec) * 1e-6 +
+                static_cast<double>(ru.ru_stime.tv_sec) +
+                static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+            res.maxRssKb = ru.ru_maxrss;
             break;
         }
         if (done < 0 && errno != EINTR)

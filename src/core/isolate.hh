@@ -72,6 +72,14 @@ struct IsolateResult
     bool interrupted = false;
     /** Tail of the child's stderr (crash diagnostics). */
     std::string stderrTail;
+    /** Child resource usage from wait4 (valid when haveRusage).
+     * Observability only — these feed per-point resource columns and
+     * the run manifest, never results. */
+    bool haveRusage = false;
+    /** Child user+system CPU seconds. */
+    double cpuSeconds = 0.0;
+    /** Child peak resident set, kilobytes (ru_maxrss on Linux). */
+    long maxRssKb = 0;
 
     /** Healthy protocol completion: exited with code 0-3 (orion_sim's
      * in-protocol range: ok / deadlock / failed points) and wrote its

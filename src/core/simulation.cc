@@ -1,6 +1,7 @@
 #include "core/simulation.hh"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <sstream>
@@ -16,6 +17,21 @@ namespace {
 /** deriveSeed salt for the default fault-seed stream, decorrelating
  * fault schedules from traffic RNG streams of the same base seed. */
 constexpr std::uint64_t kFaultSeedSalt = 0xFA17'5EEDULL;
+
+/** Cycles between live-progress counter publications (one relaxed
+ * atomic store each; see SimConfig::progressCycles). */
+constexpr sim::Cycle kProgressCycleInterval = 4096;
+
+/** Monotonic wall clock for the opt-in phase profiler (observability
+ * only; never feeds results). */
+double
+profileSeconds()
+{
+    const auto now =
+        std::chrono::steady_clock::now() // lint-allow: nondeterminism
+            .time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+}
 
 } // namespace
 
@@ -107,6 +123,21 @@ Simulation::Simulation(const NetworkConfig& network,
     // default) the simulator keeps its token-free cycle loops and the
     // hot path is untouched.
     sim_.setCancel(simCfg_.cancel);
+
+    // Run-level observability hooks (off by default; both only
+    // observe, so results are bit-identical either way).
+    if (simCfg_.progressCycles != nullptr) {
+        std::atomic<std::uint64_t>* counter = simCfg_.progressCycles;
+        sim_.addPeriodic("progress.cycles", kProgressCycleInterval,
+                         [counter](sim::Cycle now) {
+                             counter->store(
+                                 now, std::memory_order_relaxed);
+                         });
+    }
+    if (simCfg_.profilePhases) {
+        profiler_ = std::make_unique<core::PhaseProfiler>();
+        sim_.setProfiler(profiler_.get());
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -202,8 +233,22 @@ Simulation::fillFaultStats(Report& r) const
 void
 Simulation::runProtocol(Report& r)
 {
+    // Run-phase wall-time marks (opt-in; one clock read per protocol
+    // phase, nothing per cycle — the cycle-level attribution happens
+    // inside Simulator::stepProfiled on its sampling stride).
+    const bool prof = profiler_ != nullptr;
+    double mark = prof ? profileSeconds() : 0.0;
+    const auto run_phase_done = [&](core::PhaseProfiler::Phase phase) {
+        if (!prof)
+            return;
+        const double now = profileSeconds();
+        profiler_->addRunSeconds(phase, now - mark);
+        mark = now;
+    };
+
     // Phase 1: warm-up (traffic flows, nothing is measured).
     sim_.run(simCfg_.warmupCycles);
+    run_phase_done(core::PhaseProfiler::Phase::Warmup);
 
     // Phase 2: open the sample window and measure energy from here on.
     monitor_->reset();
@@ -298,6 +343,8 @@ Simulation::runProtocol(Report& r)
         last_reads = reads;
     }
 
+    run_phase_done(core::PhaseProfiler::Phase::Measure);
+
     // Final audit at drain: every invariant must hold at the very
     // cycle boundary the report is assembled from. Skipped when
     // cancelled — the report is an explicitly partial snapshot and
@@ -372,6 +419,27 @@ Simulation::runProtocol(Report& r)
         sim_.bus().emittedCount(sim::EventType::PacketInjected);
     r.eventCounts[static_cast<unsigned>(sim::EventType::PacketEjected)] =
         sim_.bus().emittedCount(sim::EventType::PacketEjected);
+
+    // Final audits + report assembly ("drain" in the phase profile).
+    run_phase_done(core::PhaseProfiler::Phase::Drain);
+
+    // Opt-in Chrome-trace spans: with both the tracer and the profiler
+    // enabled, summarize each phase as an instant event at the final
+    // cycle, microseconds carried in the packet-id field (the ring
+    // record has no payload slot; docs/OBSERVABILITY.md documents the
+    // encoding).
+    if (tracer_ && profiler_) {
+        for (unsigned i = 0; i < core::PhaseProfiler::kNumPhases; ++i) {
+            const auto phase =
+                static_cast<core::PhaseProfiler::Phase>(i);
+            const double secs = profiler_->seconds(phase);
+            if (secs <= 0.0)
+                continue;
+            tracer_->addInstant(core::PhaseProfiler::phaseName(phase),
+                                -1, -1, sim_.now(),
+                                static_cast<std::uint64_t>(secs * 1e6));
+        }
+    }
 }
 
 } // namespace orion

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/profile.hh"
 #include "core/report.hh"
 #include "core/telemetry.hh"
 #include "net/audit.hh"
@@ -209,6 +210,13 @@ class Simulation
         return tracer_.get();
     }
 
+    /** The kernel phase profiler, or nullptr unless
+     * SimConfig::profilePhases is set. Populated after run(). */
+    const core::PhaseProfiler* phaseProfiler() const
+    {
+        return profiler_.get();
+    }
+
     /** The sampled time series as long-format CSV (empty string when
      * the sampler is disabled). */
     std::string metricsCsv() const;
@@ -249,6 +257,8 @@ class Simulation
     std::unique_ptr<telemetry::MetricsRegistry> metrics_;
     std::unique_ptr<net::WindowedSampler> sampler_;
     std::unique_ptr<telemetry::FlitTracer> tracer_;
+    /** Kernel phase profiler (null unless SimConfig::profilePhases). */
+    std::unique_ptr<core::PhaseProfiler> profiler_;
     /** Per-router stall map for forensics (see routerFrozenCycles). */
     std::vector<sim::Cycle> routerFrozenCycles_;
 };

@@ -3,17 +3,39 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <ctime>
 #include <exception>
 #include <thread>
 #include <unordered_map>
 
 #include "core/executor.hh"
 #include "core/forensics.hh"
+#include "core/progress.hh"
 #include "sim/rng.hh"
 
 namespace orion {
 
 namespace {
+
+/** Monotonic seconds for per-cell resource accounting (observability
+ * only; never journaled or compared). */
+double
+monotonicSeconds()
+{
+    const auto t = std::chrono::steady_clock::now(); // lint-allow: nondeterminism
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+/** CPU seconds consumed by the calling thread so far. */
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 /** What one (rate, seed) cell produced. */
 struct CellResult
@@ -27,6 +49,8 @@ struct CellResult
     /** Telemetry exports (only when captured — see runPoint). */
     std::string metricsCsv;
     std::string traceJson;
+    /** Execution cost (fresh runs only; see PointResources). */
+    PointResources resources;
 };
 
 /** A cell outcome worth journaling: deterministic given the seed.
@@ -118,7 +142,7 @@ CellResult
 runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
          const SimConfig& sim, double rate, std::size_t rate_index,
          unsigned seed_index, bool capture_telemetry,
-         const SweepOptions& opts)
+         const SweepOptions& opts, core::ProgressScope* scope)
 {
     TrafficConfig t = traffic;
     t.injectionRate = rate;
@@ -153,6 +177,13 @@ runPoint(const NetworkConfig& network, const TrafficConfig& traffic,
         if (attempt > 0 && s.debugPoisonTransient)
             s.debugPoisonRate = -1.0;
         res.attempts = attempt + 1;
+        if (scope != nullptr) {
+            scope->setAttempt(res.attempts);
+            // Publish live cycle counts for the heartbeat thread.
+            // Observability only: the periodic hook this installs is
+            // a relaxed store, so results stay bit-identical.
+            s.progressCycles = scope->cycles();
+        }
 
         core::CancelToken token(opts.cancel);
         if (opts.pointTimeoutSeconds > 0.0)
@@ -233,11 +264,24 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
             if (const core::CheckpointEntry* e =
                     lookupResume(cached, i, 0)) {
                 cell = cellFromEntry(*e);
+                if (opts.progress != nullptr)
+                    opts.progress->noteCached();
             } else {
+                core::ProgressScope scope(opts.progress, i, 0);
+                const double wall0 = monotonicSeconds();
+                const double cpu0 = threadCpuSeconds();
                 cell = runPoint(network, traffic, sim, rates[i], i,
-                                0, /*capture_telemetry=*/true, opts);
+                                0, /*capture_telemetry=*/true, opts,
+                                &scope);
+                cell.resources.valid = true;
+                cell.resources.wallSeconds =
+                    monotonicSeconds() - wall0;
+                cell.resources.cpuSeconds = threadCpuSeconds() - cpu0;
                 if (opts.journal != nullptr && journalable(cell))
                     opts.journal->append(makeEntry(i, 0, cell));
+                // End after the journal append so a heartbeat's done
+                // count never exceeds the journal's entry count.
+                scope.end(cell.failure.has_value());
             }
             p.report = std::move(cell.report);
             p.failure = std::move(cell.failure);
@@ -246,6 +290,7 @@ Sweep::overRates(const NetworkConfig& network, const TrafficConfig& traffic,
             p.fromCheckpoint = cell.fromCheckpoint;
             p.metricsCsv = std::move(cell.metricsCsv);
             p.traceJson = std::move(cell.traceJson);
+            p.resources = cell.resources;
         },
         opts.cancel);
     std::vector<SweepPoint> out = std::move(points).take();
@@ -280,14 +325,23 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
             if (const core::CheckpointEntry* e =
                     lookupResume(cached, i, k)) {
                 cells.slot(cell) = cellFromEntry(*e);
+                if (opts.progress != nullptr)
+                    opts.progress->noteCached();
                 return;
             }
+            core::ProgressScope scope(opts.progress, i, k);
+            const double wall0 = monotonicSeconds();
+            const double cpu0 = threadCpuSeconds();
             CellResult res = runPoint(network, traffic, sim,
                                       rates[i], i, k,
                                       /*capture_telemetry=*/true,
-                                      opts);
+                                      opts, &scope);
+            res.resources.valid = true;
+            res.resources.wallSeconds = monotonicSeconds() - wall0;
+            res.resources.cpuSeconds = threadCpuSeconds() - cpu0;
             if (opts.journal != nullptr && journalable(res))
                 opts.journal->append(makeEntry(i, k, res));
+            scope.end(res.failure.has_value());
             cells.slot(cell) = std::move(res);
         },
         opts.cancel);
@@ -317,6 +371,14 @@ Sweep::overRatesAveraged(const NetworkConfig& network,
             avg.traceJsonBySeed.push_back(std::move(cell.traceJson));
             avg.attemptsBySeed.push_back(cell.ran ? cell.attempts
                                                   : 0);
+            if (cell.resources.valid) {
+                avg.resources.valid = true;
+                avg.resources.wallSeconds +=
+                    cell.resources.wallSeconds;
+                avg.resources.cpuSeconds += cell.resources.cpuSeconds;
+                avg.resources.maxRssKb = std::max(
+                    avg.resources.maxRssKb, cell.resources.maxRssKb);
+            }
             // A cell the cancelled sweep never dispensed is neither a
             // success nor a failure; it just hasn't run yet.
             if (!cell.ran) {

@@ -21,7 +21,31 @@
 #include "core/config.hh"
 #include "core/simulation.hh"
 
+namespace orion::core {
+class ProgressTracker;
+} // namespace orion::core
+
 namespace orion {
+
+/**
+ * Wall/CPU/memory cost of executing one sweep cell, measured on the
+ * worker that ran it (observability only — never journaled, excluded
+ * from determinism comparisons; the values depend on machine load).
+ * `valid` is false for cached (resumed) cells and cells that never
+ * ran.
+ */
+struct PointResources
+{
+    bool valid = false;
+    /** Wall-clock seconds spent on the cell (all attempts). */
+    double wallSeconds = 0.0;
+    /** CPU seconds consumed — thread CPU time for in-process cells,
+     * child user+system time (wait4 rusage) for isolated cells. */
+    double cpuSeconds = 0.0;
+    /** Peak resident set in kilobytes, when known (isolated cells
+     * only — ru_maxrss of the worker process); 0 otherwise. */
+    long maxRssKb = 0;
+};
 
 /**
  * A failed sweep point, isolated from its siblings: the sweep finishes
@@ -92,6 +116,8 @@ struct SweepPoint
     /** The point's Chrome trace JSON, captured only when
      * SimConfig::telemetry enables tracing. */
     std::string traceJson;
+    /** What the point cost to run (see PointResources). */
+    PointResources resources;
 };
 
 /** Execution options for sweep drivers. */
@@ -141,6 +167,15 @@ struct SweepOptions
      * coordinates: last entry wins.
      */
     const std::vector<core::CheckpointEntry>* resume = nullptr;
+    /**
+     * Live progress tracker (not owned, may be null). When set, each
+     * worker reports cell begin/attempt/end (and resume-cache hits)
+     * so the heartbeat file / progress line / stall detector see the
+     * sweep as it runs. Observability only: installing a tracker
+     * never changes results — the per-cell hooks are atomic stores
+     * outside the simulated machine. See core/progress.hh.
+     */
+    core::ProgressTracker* progress = nullptr;
 
     /** Options with only a worker count set — the common call-site
      * shape (avoids missing-field-initializer noise now that the
@@ -181,6 +216,14 @@ struct AveragedPoint
      * seeds hold empty strings so indexes stay aligned). */
     std::vector<std::string> metricsCsvBySeed;
     std::vector<std::string> traceJsonBySeed;
+    /**
+     * Aggregate execution cost over the seeds that ran fresh this
+     * invocation: wall/CPU seconds are summed, maxRssKb is the peak
+     * across seeds. `resources.valid` is true if at least one seed
+     * contributed (resumed seeds never do — their cost was paid by an
+     * earlier run).
+     */
+    PointResources resources;
 };
 
 /** Injection-rate sweep driver. */

@@ -25,6 +25,7 @@
 #ifndef ORION_CORE_SYNC_HH
 #define ORION_CORE_SYNC_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -92,6 +93,22 @@ class CondVar
         std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
         cv_.wait(lock);
         lock.release();
+    }
+
+    /**
+     * Block until notified or the timeout elapses (spurious wakeups
+     * possible); returns false on timeout. Same mutex discipline as
+     * wait(). Timed waits serve periodic background work (heartbeat
+     * writers); simulation code never depends on them.
+     */
+    bool
+    waitFor(Mutex& mutex, double seconds) ORION_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
+        const std::cv_status st = cv_.wait_for(
+            lock, std::chrono::duration<double>(seconds));
+        lock.release();
+        return st == std::cv_status::no_timeout;
     }
 
     void notifyOne() { cv_.notify_one(); }

@@ -46,6 +46,10 @@ Simulator::addPeriodic(std::string name, Cycle interval,
 void
 Simulator::step()
 {
+    if (profiler_ != nullptr) {
+        stepProfiled();
+        return;
+    }
     for (auto* m : modules_)
         m->cycle(now_);
     // Advance order equals write order (deterministic: modules run in
@@ -70,6 +74,38 @@ Simulator::step()
         if (now_ % p.interval == 0)
             p.fn(now_);
     }
+}
+
+void
+Simulator::stepProfiled()
+{
+    // Same cycle semantics as step(), with wall-time marks between
+    // stages on sampled cycles (core::PhaseProfiler::kStride). The
+    // profiler never touches simulation state, so the event sequence —
+    // and therefore every result — is identical to the unprofiled
+    // path.
+    using Phase = core::PhaseProfiler::Phase;
+    profiler_->beginCycle();
+    for (auto* m : modules_)
+        m->cycle(now_);
+    profiler_->phaseDone(Phase::RouterAdvance);
+    for (auto* c : alwaysAdvance_)
+        c->advanceChannel();
+    for (auto* c : pendingAdvance_)
+        c->advanceChannel();
+    pendingAdvance_.clear();
+    profiler_->phaseDone(Phase::ChannelAdvance);
+    ++now_;
+    if (auditInterval_ != 0 && !audits_.empty() &&
+        now_ % auditInterval_ == 0) {
+        runAudits();
+    }
+    profiler_->phaseDone(Phase::Audit);
+    for (const auto& p : periodics_) {
+        if (now_ % p.interval == 0)
+            p.fn(now_);
+    }
+    profiler_->phaseDone(Phase::Periodic);
 }
 
 void

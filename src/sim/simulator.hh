@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/cancel.hh"
+#include "core/profile.hh"
 #include "sim/event.hh"
 #include "sim/module.hh"
 
@@ -119,6 +120,18 @@ class Simulator
     std::size_t periodicCount() const { return periodics_.size(); }
     /// @}
 
+    /// @name Phase profiling (see core/profile.hh)
+    /// @{
+    /**
+     * Attach a phase profiler (nullptr to detach). With one attached,
+     * step() times its stages on the profiler's sampling stride; the
+     * profiler only reads clocks, so results stay bit-identical.
+     * Detached, step() pays a single null-pointer test per cycle.
+     */
+    void setProfiler(core::PhaseProfiler* p) { profiler_ = p; }
+    core::PhaseProfiler* profiler() const { return profiler_; }
+    /// @}
+
   private:
     struct Audit
     {
@@ -134,6 +147,7 @@ class Simulator
     };
 
     void step();
+    void stepProfiled();
 
     EventBus bus_;
     std::vector<Module*> modules_;
@@ -149,6 +163,8 @@ class Simulator
     Cycle now_ = 0;
     /** Optional cooperative-cancellation token (not owned). */
     core::CancelToken* cancel_ = nullptr;
+    /** Optional phase profiler (not owned; see setProfiler). */
+    core::PhaseProfiler* profiler_ = nullptr;
 };
 
 } // namespace orion::sim

@@ -270,6 +270,30 @@ TEST(CliParse, SurvivabilityFlagsRejectInvalidValues)
                  std::invalid_argument);
 }
 
+TEST(CliParse, ObservabilityFlags)
+{
+    const Options o = parse({"--log-out", "run.jsonl",
+                             "--log-level", "debug",
+                             "--manifest-out", "run.manifest.json",
+                             "--profile-phases"});
+    EXPECT_EQ(o.logOut, "run.jsonl");
+    EXPECT_EQ(o.logLevel, "debug");
+    EXPECT_EQ(o.manifestOut, "run.manifest.json");
+    EXPECT_TRUE(o.sim.profilePhases);
+
+    // Defaults: everything off, byte-identical to the pre-logger CLI.
+    const Options d = parse({});
+    EXPECT_TRUE(d.logOut.empty());
+    EXPECT_EQ(d.logLevel, "info");
+    EXPECT_TRUE(d.manifestOut.empty());
+    EXPECT_FALSE(d.sim.profilePhases);
+
+    EXPECT_THROW(parse({"--log-level", "verbose"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--log-out"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--manifest-out"}), std::invalid_argument);
+}
+
 TEST(CliParse, RateAcceptsExactHexfloat)
 {
     // `orion_sweep --isolate` hands workers their rate as a hexfloat

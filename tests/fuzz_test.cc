@@ -4,19 +4,26 @@
  * deterministic) network configurations driven with random traffic,
  * checking the invariants that must hold for *every* legal
  * configuration — delivery, conservation, watchdog silence below
- * saturation, and energy/event consistency.
+ * saturation, and energy/event consistency. Plus file-format torture:
+ * checkpoint journals under mutation and the heartbeat file under
+ * concurrent writers.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "core/check.hh"
 #include "core/checkpoint.hh"
 #include "core/config.hh"
+#include "core/progress.hh"
 #include "core/simulation.hh"
+#include "json_validator.hh"
 #include "sim/rng.hh"
 
 namespace {
@@ -260,5 +267,91 @@ TEST_P(JournalFuzz, MutatedJournalLoadsCleanlyOrThrowsStructured)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalFuzz,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// --- heartbeat atomic-replacement fuzzing ------------------------------
+//
+// The heartbeat file is replaced via tmp + rename while several
+// threads complete cells and a background refresher runs on a
+// millisecond period. A concurrent reader (tools/orion_status.py's
+// position) must never observe a torn file: every non-empty read
+// parses as a complete orion-heartbeat-v1 JSON document.
+
+TEST(HeartbeatFuzz, ConcurrentWritersNeverTearTheFile)
+{
+    const std::string path =
+        testing::TempDir() + "orion_hb_fuzz.json";
+    std::remove(path.c_str());
+
+    constexpr unsigned kWriters = 4;
+    constexpr unsigned kCellsPerWriter = 64;
+
+    core::ProgressTracker::Options po;
+    po.totalCells = kWriters * kCellsPerWriter;
+    po.jobs = kWriters;
+    po.heartbeatPath = path;
+    po.heartbeatIntervalSeconds = 0.001; // refresher hammers too
+    core::ProgressTracker tracker(po);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> torn{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::ifstream in(path, std::ios::binary);
+            if (!in)
+                continue;
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            const std::string snapshot = ss.str();
+            if (snapshot.empty()) {
+                // An empty read would itself be a torn observation:
+                // rename never exposes a half-written file.
+                ++torn;
+                continue;
+            }
+            ++reads;
+            test::JsonValidator v(snapshot);
+            if (!v.valid() ||
+                snapshot.find("orion-heartbeat-v1") ==
+                    std::string::npos)
+                ++torn;
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&tracker, w] {
+            for (unsigned i = 0; i < kCellsPerWriter; ++i) {
+                core::ProgressScope scope(&tracker, i, w);
+                if (std::atomic<std::uint64_t>* c = scope.cycles())
+                    c->store(i, std::memory_order_relaxed);
+                scope.end((i % 7) == 0);
+            }
+        });
+    }
+    for (std::thread& t : writers)
+        t.join();
+    tracker.finalize();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(tracker.done(),
+              std::uint64_t{kWriters} * kCellsPerWriter);
+    EXPECT_GT(reads.load(), 0u)
+        << "the final heartbeat alone guarantees one read";
+    EXPECT_EQ(torn.load(), 0u)
+        << "a reader observed a torn/empty heartbeat";
+
+    const std::string final_hb = [&] {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }();
+    test::JsonValidator v(final_hb);
+    ASSERT_TRUE(v.valid()) << final_hb;
+    EXPECT_NE(final_hb.find("\"finished\":true"), std::string::npos);
+    std::remove(path.c_str());
+}
 
 } // namespace

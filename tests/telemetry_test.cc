@@ -9,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <sstream>
 #include <string>
 
@@ -18,6 +17,7 @@
 #include "core/simulation.hh"
 #include "core/sweep.hh"
 #include "core/telemetry.hh"
+#include "json_validator.hh"
 #include "net/sampler.hh"
 #include "sim/simulator.hh"
 
@@ -41,162 +41,6 @@ smallRun()
     s.maxCycles = 100000;
     return s;
 }
-
-/**
- * Minimal recursive-descent JSON validator — enough to prove the
- * trace writer emits structurally valid JSON (balanced, quoted,
- * escaped) without pulling in a JSON library.
- */
-class JsonValidator
-{
-  public:
-    explicit JsonValidator(const std::string& text) : s_(text) {}
-
-    bool
-    valid()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default:  return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            if (s_[pos_] == '\\') {
-                ++pos_;
-                if (pos_ >= s_.size())
-                    return false;
-            }
-            ++pos_;
-        }
-        if (pos_ >= s_.size())
-            return false;
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool
-    number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-')) {
-            ++pos_;
-        }
-        return pos_ > start;
-    }
-
-    bool
-    literal(const char* word)
-    {
-        for (const char* p = word; *p; ++p) {
-            if (pos_ >= s_.size() || s_[pos_] != *p)
-                return false;
-            ++pos_;
-        }
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    const std::string& s_;
-    std::size_t pos_ = 0;
-};
 
 // --- MetricsRegistry ------------------------------------------------
 
@@ -341,7 +185,7 @@ TEST(FlitTracer, RingBufferBoundsRetention)
     EXPECT_EQ(json.find("\"ts\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"ts\": 6"), std::string::npos);
     EXPECT_NE(json.find("\"ts\": 9"), std::string::npos);
-    JsonValidator v(json);
+    test::JsonValidator v(json);
     EXPECT_TRUE(v.valid());
 }
 
@@ -354,7 +198,7 @@ TEST(FlitTracer, LabelWithQuotesAndBackslashesStaysValidJson)
     std::ostringstream out;
     tracer.writeJson(out, "say \"hi\" \\ bye");
     const std::string json = out.str();
-    JsonValidator v(json);
+    test::JsonValidator v(json);
     EXPECT_TRUE(v.valid());
     EXPECT_NE(json.find("say \\\"hi\\\" \\\\ bye"), std::string::npos);
 }
@@ -454,7 +298,7 @@ TEST(SimulationTelemetry, ThreePacketTraceIsValidChromeJson)
     ASSERT_TRUE(r.completed);
 
     const std::string json = sim.traceJson("three packets");
-    JsonValidator v(json);
+    test::JsonValidator v(json);
     EXPECT_TRUE(v.valid());
 
     // The golden structure: every pipeline stage appears as a span

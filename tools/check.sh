@@ -21,13 +21,17 @@
 #                token that never fires), both against the same gate,
 #                proving the per-cycle CancelToken check is free on
 #                the hot path
-#   6. survive:  kill-and-resume drill — a checkpointed sweep is
-#                SIGKILLed mid-flight, resumed from its journal, and
-#                the merged CSV must be byte-identical to an
-#                uninterrupted run; then an --isolate sweep with a
-#                deliberately SIGSEGVing point (--debug-segv-rate)
-#                must record a structured worker-crash failure while
-#                every other point completes
+#   6. survive:  kill-and-resume drill — a checkpointed sweep with a
+#                live heartbeat is SIGKILLed mid-flight; the heartbeat
+#                must still parse (orion_status.py --once) with a
+#                done-count consistent with the journal; the resume
+#                must produce a CSV byte-identical to an uninterrupted
+#                run, report the carried-over cells in its heartbeat,
+#                and leave a valid run manifest beside the journal;
+#                then an --isolate sweep with a deliberately
+#                SIGSEGVing point (--debug-segv-rate) must record a
+#                structured worker-crash failure while every other
+#                point completes
 #   7. lint:     tools/orion_lint.py, plus clang-tidy when installed
 #   8. analysis: tools/orion_analyze.py (determinism/concurrency
 #                rules + thread-safety annotation coverage) and its
@@ -200,18 +204,67 @@ if run_leg survive; then
     args="--rates 0.02:0.30:8 --sample 20000 --max-cycles 2000000"
     # Reference: the same grid, uninterrupted.
     $sweep $args --jobs 2 > "$sdir/reference.csv"
-    # Victim: checkpointed, then SIGKILLed (uncatchable — exercises
-    # the torn-tail tolerance, not the cooperative handlers).
+    # Victim: checkpointed with a live heartbeat, then SIGKILLed
+    # (uncatchable — exercises the torn-tail tolerance and the
+    # atomic heartbeat replacement, not the cooperative handlers).
     $sweep $args --jobs 2 --checkpoint "$sdir/journal" \
+        --heartbeat "$sdir/hb.json" --heartbeat-interval 0.2 \
         > /dev/null 2> /dev/null &
     victim=$!
     sleep 0.7
     kill -KILL "$victim" 2> /dev/null || true
     wait "$victim" 2> /dev/null || true
-    # Resume at a different job count: merged CSV must be identical.
-    $sweep $args --jobs 4 --resume "$sdir/journal" > "$sdir/resumed.csv"
+    # The killed run's heartbeat must still parse (atomic replacement
+    # leaves the last complete snapshot) and its done-count must agree
+    # with the journal: never ahead of it, and at most `jobs` behind
+    # (a worker can die between the journal append and the heartbeat).
+    status=$(python3 "$root/tools/orion_status.py" --once "$sdir/hb.json")
+    echo "killed-run status: $status"
+    journal_entries=$(($(wc -l < "$sdir/journal") - 1))
+    python3 - "$status" "$journal_entries" <<'EOF'
+import json, sys
+s = json.loads(sys.argv[1])
+journal = int(sys.argv[2])
+assert s["ok"], s
+assert not s["finished"], "SIGKILLed run cannot have finished"
+done, jobs = s["done"], s["jobs"]
+# The torn tail may drop the journal's final line, so allow done to
+# lead by that one crash artifact.
+assert done <= journal + 1, f"heartbeat done={done} > journal={journal}+1"
+assert journal - done <= jobs, \
+    f"heartbeat done={done} lags journal={journal} by more than jobs={jobs}"
+print(f"heartbeat survives SIGKILL: done={done}, journal={journal}")
+EOF
+    # Resume at a different job count: merged CSV must be identical,
+    # and the resumed run's heartbeat must account for the cells
+    # carried over from the journal.
+    $sweep $args --jobs 4 --resume "$sdir/journal" \
+        --heartbeat "$sdir/hb_resumed.json" > "$sdir/resumed.csv" \
+        2> /dev/null
     cmp "$sdir/reference.csv" "$sdir/resumed.csv"
     echo "resumed CSV byte-identical to the uninterrupted run"
+    status=$(python3 "$root/tools/orion_status.py" --once \
+        "$sdir/hb_resumed.json")
+    echo "resumed-run status: $status"
+    python3 - "$status" <<'EOF'
+import json, sys
+s = json.loads(sys.argv[1])
+assert s["ok"] and s["finished"], s
+assert s["done"] == s["total"], s
+assert s["from_checkpoint"] > 0, \
+    "resumed run must report carried-over points"
+print(f"resume accounted: {s['from_checkpoint']}/{s['total']} "
+      "from checkpoint")
+EOF
+    # Journaling auto-writes a run manifest beside the journal.
+    python3 - "$sdir/journal.manifest.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["schema"] == "orion-run-manifest-v1", m
+assert m["tool"] == "orion_sweep", m
+print(f"manifest written: fingerprint {m['fingerprint']}, "
+      f"stop {m['stop_reason']}")
+EOF
 
     echo "== survive: --isolate absorbs a SIGSEGVing worker =="
     rc=0

@@ -22,6 +22,12 @@ one does:
   stdout-in-library  src/ never writes to stdout/stderr directly;
                      reporting code takes an std::ostream&. (CLI entry
                      points live in tools/, which may print.)
+  naked-stderr       diagnostics in src/ and tools/ must flow through
+                     core/log (log::diag/log::event) so a configured
+                     --log-out sink mirrors every stderr message;
+                     fprintf(stderr, ...)/std::cerr bypass it. The
+                     logger backend itself (src/core/log.cc) is
+                     exempt. bench/ harnesses are out of scope.
   stat-printing      src/net and src/router must not print statistics
                      at all, not even to an ostream snuck in via
                      stdout: counters belong in telemetry::
@@ -59,7 +65,7 @@ SKIP_PREFIXES = ("tests/analysis/fixtures/",)
 
 KNOWN_RULES = (
     "nondeterminism", "naked-new", "file-scope-state", "include-guard",
-    "stdout-in-library", "stat-printing", "fault-hooks",
+    "stdout-in-library", "stat-printing", "fault-hooks", "naked-stderr",
     "unused-suppression",
 )
 
@@ -86,6 +92,15 @@ NONDET_PATTERNS = [
         "wall-clock std::chrono",
     ),
 ]
+
+# Stderr-targeted writes that bypass core/log (the structured sink
+# can't mirror them). std::cerr is always stderr; fprintf/fputs only
+# when the stream argument is literally stderr.
+STDERR_RE = re.compile(
+    r"std::cerr|\bfprintf\s*\(\s*stderr\b|\bfputs\s*\([^;]*,\s*stderr\s*\)"
+)
+# The logger backend owns the real stderr writes.
+STDERR_EXEMPT = ("src/core/log.cc",)
 
 NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?\s+[A-Za-z_*(]")
@@ -232,11 +247,27 @@ class Linter:
                             "register them with telemetry::"
                             "MetricsRegistry or report them via Report",
                             line)
+                    elif (STDERR_RE.search(code)
+                          and rel not in STDERR_EXEMPT):
+                        # Stderr-specific guidance beats the generic
+                        # rule (and never double-reports one line).
+                        self.report(
+                            path, idx, "naked-stderr",
+                            "diagnostics must go through core/log "
+                            "(log::diag mirrors stderr to the "
+                            "structured sink)", line)
                     else:
                         self.report(
                             path, idx, "stdout-in-library",
                             "library code must not write to stdout/"
                             "stderr; take an std::ostream&", line)
+            elif rel.startswith("tools/"):
+                if STDERR_RE.search(code):
+                    self.report(
+                        path, idx, "naked-stderr",
+                        "tool diagnostics must go through core/log "
+                        "(log::diag mirrors stderr to the structured "
+                        "sink)", line)
 
             if rel.startswith("src/router/"):
                 # The include path is a string literal, so it is

@@ -16,18 +16,22 @@
 #include <string>
 #include <vector>
 
+#include "core/log.hh"
 #include "core/model_cli.hh"
 
 int
 main(int argc, char** argv)
 {
+    namespace log = orion::core::log;
     std::vector<std::string> args(argv + 1, argv + argc);
     try {
+        log::configureFromEnv();
         const std::string out = orion::cli::runModelQuery(args);
         std::fputs(out.c_str(), stdout);
         return 0;
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        log::diag(log::Level::Error, "models.error",
+                  log::strf("%s\n", e.what()));
         return 1;
     }
 }

@@ -36,8 +36,34 @@
 #include "core/checkpoint.hh"
 #include "core/cli.hh"
 #include "core/forensics.hh"
+#include "core/log.hh"
+#include "core/manifest.hh"
 
 namespace {
+
+namespace log = orion::core::log;
+
+/** Attach the structured log sink: environment first, flags win. */
+void
+configureLogger(const orion::cli::Options& opts)
+{
+    log::configureFromEnv();
+    if (!opts.logOut.empty()) {
+        log::Level level = log::Level::Info;
+        log::parseLevel(opts.logLevel, level);
+        log::configure(opts.logOut, level);
+    }
+}
+
+/** 16-hex-char rendering of a sweep fingerprint. */
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
 
 /** An output-stream failure (exit 4): the run itself was healthy, the
  * results could not be delivered. */
@@ -124,6 +150,19 @@ main(int argc, char** argv)
             std::fputs(cli::usage().c_str(), stdout);
             return 0;
         }
+        configureLogger(opts);
+
+        core::RunManifest manifest =
+            core::RunManifest::begin("orion_sim");
+        manifest.fingerprintHex = fingerprintHex(core::sweepFingerprint(
+            opts.network, opts.traffic, opts.sim,
+            {opts.traffic.injectionRate}, 1));
+        manifest.seed = opts.sim.seed;
+        manifest.pointsTotal = 1;
+        log::event(log::Level::Info, "sim.start",
+                   {log::str("fingerprint", manifest.fingerprintHex),
+                    log::u64("seed", opts.sim.seed),
+                    log::num("rate", opts.traffic.injectionRate)});
 
         // A closed downstream pipe must surface as a write error
         // (exit 4), not a silent SIGPIPE death.
@@ -136,6 +175,25 @@ main(int argc, char** argv)
 
         Simulation simulation(opts.network, opts.traffic, opts.sim);
         const Report report = simulation.run();
+
+        const bool run_failed =
+            report.stopReason == StopReason::CheckFailure ||
+            report.stopReason == StopReason::Deadline ||
+            report.stopReason == StopReason::Interrupted;
+        manifest.pointsCompleted = run_failed ? 0 : 1;
+        manifest.pointsFailed = run_failed ? 1 : 0;
+        if (const core::PhaseProfiler* pp = simulation.phaseProfiler())
+            manifest.phases = pp->shares();
+        manifest.finish(stopReasonName(report.stopReason));
+        if (!opts.manifestOut.empty())
+            core::writeFileAtomic(opts.manifestOut, manifest.toJson());
+        log::event(log::Level::Info, "sim.done",
+                   {log::str("stop_reason",
+                             stopReasonName(report.stopReason)),
+                    log::u64("cycles", report.totalCycles),
+                    log::num("latency_cycles",
+                             report.avgLatencyCycles),
+                    log::num("power_w", report.networkPowerWatts)});
 
         if (!opts.metricsOut.empty())
             writeFile(opts.metricsOut, simulation.metricsCsv());
@@ -153,37 +211,41 @@ main(int argc, char** argv)
                                     : cli::formatReport(opts, report);
         std::fputs(out.c_str(), stdout);
         if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
-            std::fprintf(stderr,
-                         "orion_sim: i/o error writing the report to "
-                         "stdout\n");
+            log::diag(log::Level::Error, "sim.io_error",
+                      "orion_sim: i/o error writing the report to "
+                      "stdout\n");
             return 4;
         }
         switch (report.stopReason) {
         case StopReason::CheckFailure:
-            std::fprintf(stderr, "orion_sim: check failure: %s\n",
-                         report.checkFailureDiagnostic.c_str());
+            log::diag(log::Level::Error, "sim.check_failure",
+                      log::strf("orion_sim: check failure: %s\n",
+                                report.checkFailureDiagnostic.c_str()));
             return 3;
         case StopReason::Interrupted:
-            std::fprintf(stderr,
-                         "orion_sim: interrupted (signal %d); partial "
-                         "report above\n",
-                         core::interruptSignal());
+            log::diag(log::Level::Warn, "sim.interrupted",
+                      log::strf("orion_sim: interrupted (signal %d); "
+                                "partial report above\n",
+                                core::interruptSignal()));
             return 5;
         case StopReason::Deadline:
-            std::fprintf(stderr,
-                         "orion_sim: --point-timeout expired after "
-                         "%llu cycles; partial report above\n",
-                         static_cast<unsigned long long>(
-                             report.totalCycles));
+            log::diag(log::Level::Warn, "sim.deadline",
+                      log::strf("orion_sim: --point-timeout expired "
+                                "after %llu cycles; partial report "
+                                "above\n",
+                                static_cast<unsigned long long>(
+                                    report.totalCycles)));
             return 6;
         default:
             return report.deadlockSuspected ? 2 : 0;
         }
     } catch (const IoError& e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        log::diag(log::Level::Error, "sim.io_error",
+                  log::strf("%s\n", e.what()));
         return 4;
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        log::diag(log::Level::Error, "sim.error",
+                  log::strf("%s\n", e.what()));
         return 1;
     }
 }

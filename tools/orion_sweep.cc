@@ -60,6 +60,9 @@
 #include "core/cli.hh"
 #include "core/executor.hh"
 #include "core/isolate.hh"
+#include "core/log.hh"
+#include "core/manifest.hh"
+#include "core/progress.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
 #include "sim/rng.hh"
@@ -67,6 +70,33 @@
 using namespace orion;
 
 namespace {
+
+namespace log = core::log;
+
+/** Monotonic seconds for per-point resource accounting. */
+double
+monotonicSeconds()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+/** 16-hex-char rendering of a sweep fingerprint. */
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+/** CSV cell for an optional resource value ("" when unmeasured). */
+std::string
+resourceCell(bool valid, double seconds)
+{
+    return valid ? report::fmt(seconds, 3) : std::string{};
+}
 
 /** DIR/point_NNN.EXT for sweep point @p i. */
 std::string
@@ -128,6 +158,8 @@ struct IsolateConfig
     std::uint64_t cpuSeconds = 0;
     std::string tmpDir;
     core::CheckpointJournal* journal = nullptr;
+    /** Live progress tracker (not owned, may be null). */
+    core::ProgressTracker* progress = nullptr;
 };
 
 /** Read and parse the single entry line a worker wrote with
@@ -162,7 +194,9 @@ readWorkerEntry(const std::string& path, core::CheckpointEntry& out)
  * tail attached.
  */
 SweepPoint
-runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
+runIsolatedPointInner(std::size_t i, double rate,
+                      const IsolateConfig& cfg,
+                      core::ProgressScope& scope)
 {
     SweepPoint p;
     p.injectionRate = rate;
@@ -184,6 +218,7 @@ runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
         }
         p.ran = true;
         p.attempts = attempt + 1;
+        scope.setAttempt(p.attempts);
 
         const std::uint64_t seed = sim::deriveSeed(
             cfg.baseSeed, i, attempt * kRetrySeedOffset);
@@ -219,6 +254,24 @@ runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
         io.cancel = &core::interruptToken();
 
         const core::IsolateResult res = core::runIsolated(io);
+        if (res.haveRusage) {
+            // Child rusage from wait4: per-point CPU/RSS accounting
+            // across all attempts.
+            p.resources.valid = true;
+            p.resources.cpuSeconds += res.cpuSeconds;
+            p.resources.maxRssKb =
+                std::max(p.resources.maxRssKb, res.maxRssKb);
+        }
+        if (log::enabled(log::Level::Debug)) {
+            log::event(
+                log::Level::Debug, "sweep.worker_exit",
+                {log::u64("rate_index", i),
+                 log::u64("attempt", p.attempts),
+                 log::str("exit", res.describe()),
+                 log::num("cpu_s", res.cpuSeconds),
+                 log::u64("maxrss_kb", static_cast<std::uint64_t>(
+                                           std::max(0L, res.maxRssKb)))});
+        }
         core::CheckpointEntry entry;
         const bool have_entry = readWorkerEntry(report_path, entry);
         std::remove(report_path.c_str());
@@ -318,6 +371,23 @@ runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
     return p;
 }
 
+/** runIsolatedPointInner wrapped in a ProgressScope + wall clock, so
+ * heartbeat and resource accounting see isolated cells the same way
+ * they see in-process ones. */
+SweepPoint
+runIsolatedPoint(std::size_t i, double rate, const IsolateConfig& cfg)
+{
+    core::ProgressScope scope(cfg.progress, i, 0);
+    const double wall0 = monotonicSeconds();
+    SweepPoint p = runIsolatedPointInner(i, rate, cfg, scope);
+    if (p.resources.valid)
+        p.resources.wallSeconds = monotonicSeconds() - wall0;
+    // End after the inner function's journal append, so a heartbeat's
+    // done count never exceeds the journal's entry count.
+    scope.end(p.failure.has_value());
+    return p;
+}
+
 /** The isolated-mode sweep driver: same fan-out, merge order, and
  * resume semantics as Sweep::overRates, with each cell in its own
  * process. */
@@ -344,6 +414,8 @@ isolatedSweep(const std::vector<double>& rates, unsigned jobs,
             if (hit != cached.end()) {
                 points.slot(i) = pointFromEntry(
                     *hit->second, rates[i], /*from_checkpoint=*/true);
+                if (cfg.progress != nullptr)
+                    cfg.progress->noteCached();
                 return;
             }
             points.slot(i) = runIsolatedPoint(i, rates[i], cfg);
@@ -371,6 +443,10 @@ main(int argc, char** argv)
     std::string isolate_exe;
     std::uint64_t isolate_mem_mb = 0;
     std::uint64_t isolate_cpu_s = 0;
+    std::string heartbeat_path;
+    double heartbeat_interval = 1.0;
+    bool progress_line = false;
+    bool resources_cols = false;
 
     // Extract the sweep-only options, pass the rest to the shared
     // parser (and, in --isolate mode, to the worker processes).
@@ -380,15 +456,26 @@ main(int argc, char** argv)
             isolate = true;
             continue;
         }
+        if (args[i] == "--progress") {
+            progress_line = true;
+            continue;
+        }
+        if (args[i] == "--resources") {
+            resources_cols = true;
+            continue;
+        }
         if (args[i] == "--rates" || args[i] == "--seeds" ||
             args[i] == "--metrics-dir" || args[i] == "--trace-dir" ||
             args[i] == "--checkpoint" || args[i] == "--resume" ||
             args[i] == "--isolate-exe" ||
-            args[i] == "--isolate-mem" || args[i] == "--isolate-cpu") {
+            args[i] == "--isolate-mem" || args[i] == "--isolate-cpu" ||
+            args[i] == "--heartbeat" ||
+            args[i] == "--heartbeat-interval") {
             const std::string opt = args[i];
             if (i + 1 >= args.size()) {
-                std::fprintf(stderr, "orion_sweep: %s: missing value\n",
-                             opt.c_str());
+                log::diag(log::Level::Error, "sweep.usage",
+                          log::strf("orion_sweep: %s: missing value\n",
+                                    opt.c_str()));
                 return 1;
             }
             try {
@@ -409,11 +496,16 @@ main(int argc, char** argv)
                     isolate_exe = args[++i];
                 else if (opt == "--isolate-mem")
                     isolate_mem_mb = std::stoull(args[++i]);
+                else if (opt == "--heartbeat")
+                    heartbeat_path = args[++i];
+                else if (opt == "--heartbeat-interval")
+                    heartbeat_interval = std::stod(args[++i]);
                 else
                     isolate_cpu_s = std::stoull(args[++i]);
             } catch (const std::exception& e) {
-                std::fprintf(stderr, "orion_sweep: bad %s: %s\n",
-                             opt.c_str(), e.what());
+                log::diag(log::Level::Error, "sweep.usage",
+                          log::strf("orion_sweep: bad %s: %s\n",
+                                    opt.c_str(), e.what()));
                 return 1;
             }
         } else {
@@ -421,42 +513,49 @@ main(int argc, char** argv)
         }
     }
     if (seeds < 1) {
-        std::fprintf(stderr, "orion_sweep: --seeds must be >= 1\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --seeds must be >= 1\n");
+        return 1;
+    }
+    if (heartbeat_interval <= 0.0) {
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --heartbeat-interval must be > 0 "
+                  "seconds\n");
         return 1;
     }
     if (!checkpoint_path.empty() && !resume_path.empty()) {
-        std::fprintf(stderr,
-                     "orion_sweep: --checkpoint and --resume are "
-                     "mutually exclusive (--resume keeps appending "
-                     "to its journal)\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --checkpoint and --resume are "
+                  "mutually exclusive (--resume keeps appending "
+                  "to its journal)\n");
         return 1;
     }
     const bool journaling =
         !checkpoint_path.empty() || !resume_path.empty();
     if (journaling && (!metrics_dir.empty() || !trace_dir.empty())) {
-        std::fprintf(stderr,
-                     "orion_sweep: --checkpoint/--resume cannot be "
-                     "combined with --metrics-dir/--trace-dir "
-                     "(telemetry exports are not journaled)\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --checkpoint/--resume cannot be "
+                  "combined with --metrics-dir/--trace-dir "
+                  "(telemetry exports are not journaled)\n");
         return 1;
     }
     if (isolate && seeds > 1) {
-        std::fprintf(stderr,
-                     "orion_sweep: --isolate supports --seeds 1 "
-                     "only\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --isolate supports --seeds 1 "
+                  "only\n");
         return 1;
     }
     if (isolate && (!metrics_dir.empty() || !trace_dir.empty())) {
-        std::fprintf(stderr,
-                     "orion_sweep: --isolate cannot be combined with "
-                     "--metrics-dir/--trace-dir\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --isolate cannot be combined with "
+                  "--metrics-dir/--trace-dir\n");
         return 1;
     }
     if (!isolate && (!isolate_exe.empty() || isolate_mem_mb != 0 ||
                      isolate_cpu_s != 0)) {
-        std::fprintf(stderr,
-                     "orion_sweep: --isolate-exe/--isolate-mem/"
-                     "--isolate-cpu require --isolate\n");
+        log::diag(log::Level::Error, "sweep.usage",
+                  "orion_sweep: --isolate-exe/--isolate-mem/"
+                  "--isolate-cpu require --isolate\n");
         return 1;
     }
 
@@ -493,9 +592,27 @@ main(int argc, char** argv)
                        "  --isolate-mem MB           worker RLIMIT_AS "
                        "cap (MiB)\n"
                        "  --isolate-cpu SEC          worker RLIMIT_CPU "
-                       "cap (seconds)\n",
+                       "cap (seconds)\n"
+                       "  --heartbeat FILE           atomically "
+                       "rewritten progress JSON (watch with\n"
+                       "                             tools/"
+                       "orion_status.py)\n"
+                       "  --heartbeat-interval SEC   background "
+                       "refresh period (default 1)\n"
+                       "  --progress                 rewriting stderr "
+                       "progress line (TTY only)\n"
+                       "  --resources                append wall_s/"
+                       "cpu_s/maxrss_kb CSV columns\n"
+                       "                             (nondeterministic "
+                       "values; off by default)\n",
                        stdout);
             return 0;
+        }
+        log::configureFromEnv();
+        if (!opts.logOut.empty()) {
+            log::Level level = log::Level::Info;
+            log::parseLevel(opts.logLevel, level);
+            log::configure(opts.logOut, level);
         }
 
         // One Ctrl-C/SIGTERM stops every in-flight point
@@ -535,15 +652,18 @@ main(int argc, char** argv)
                 core::loadCheckpoint(resume_path, fingerprint);
             resume_entries = std::move(load.entries);
             if (load.truncatedTail) {
-                std::fprintf(stderr,
-                             "orion_sweep: note: dropped a torn "
-                             "final journal line (crash artifact); "
-                             "that cell reruns\n");
+                log::diag(log::Level::Warn, "sweep.torn_journal",
+                          "orion_sweep: note: dropped a torn "
+                          "final journal line (crash artifact); "
+                          "that cell reruns\n");
             }
-            std::fprintf(stderr,
-                         "orion_sweep: resuming: %zu cells cached in "
-                         "'%s'\n",
-                         resume_entries.size(), resume_path.c_str());
+            log::diag(log::Level::Info, "sweep.resume",
+                      log::strf("orion_sweep: resuming: %zu cells "
+                                "cached in '%s'\n",
+                                resume_entries.size(),
+                                resume_path.c_str()),
+                      {log::u64("cached", resume_entries.size()),
+                       log::str("journal", resume_path)});
             journal = std::make_unique<core::CheckpointJournal>(
                 resume_path, fingerprint, /*resume=*/true);
         } else if (!checkpoint_path.empty()) {
@@ -552,6 +672,58 @@ main(int argc, char** argv)
         }
         const std::string journal_path =
             !resume_path.empty() ? resume_path : checkpoint_path;
+
+        // Run manifest: explicit --manifest-out, or automatically
+        // beside a checkpoint journal so long runs self-describe.
+        std::string manifest_path = opts.manifestOut;
+        if (manifest_path.empty() && !journal_path.empty())
+            manifest_path = journal_path + ".manifest.json";
+        core::RunManifest manifest =
+            core::RunManifest::begin("orion_sweep");
+        manifest.fingerprintHex = fingerprintHex(fingerprint);
+        manifest.seed = sim_cfg.seed;
+        manifest.seeds = seeds;
+        manifest.ratePoints = rates.size();
+        manifest.pointsTotal =
+            static_cast<std::uint64_t>(rates.size()) * seeds;
+        const auto writeManifest = [&](const char* reason) {
+            if (manifest_path.empty())
+                return;
+            manifest.finish(reason);
+            try {
+                core::writeFileAtomic(manifest_path,
+                                      manifest.toJson());
+            } catch (const std::exception& e) {
+                log::diag(log::Level::Warn, "sweep.manifest_failed",
+                          log::strf("orion_sweep: cannot write "
+                                    "manifest '%s': %s\n",
+                                    manifest_path.c_str(), e.what()));
+            }
+        };
+
+        // Live progress: heartbeat file and/or TTY progress line.
+        std::unique_ptr<core::ProgressTracker> tracker;
+        if (!heartbeat_path.empty() || progress_line) {
+            core::ProgressTracker::Options po;
+            po.heartbeatPath = heartbeat_path;
+            po.heartbeatIntervalSeconds = heartbeat_interval;
+            po.progressLine = progress_line;
+            po.totalCells =
+                static_cast<std::uint64_t>(rates.size()) * seeds;
+            po.jobs = opts.jobs != 0
+                          ? opts.jobs
+                          : std::max(
+                                1u,
+                                std::thread::hardware_concurrency());
+            tracker = std::make_unique<core::ProgressTracker>(po);
+        }
+        log::event(log::Level::Info, "sweep.start",
+                   {log::str("fingerprint", manifest.fingerprintHex),
+                    log::u64("rate_points", rates.size()),
+                    log::u64("seeds", seeds),
+                    log::u64("cells", manifest.pointsTotal),
+                    log::boolean("isolate", isolate),
+                    log::u64("cached", resume_entries.size())});
 
         SweepOptions sweep_opts;
         sweep_opts.jobs = opts.jobs;
@@ -562,26 +734,29 @@ main(int argc, char** argv)
         sweep_opts.journal = journal.get();
         sweep_opts.resume =
             resume_path.empty() ? nullptr : &resume_entries;
+        sweep_opts.progress = tracker.get();
 
         // After any sweep: an interrupt means no CSV (a partial
         // table masquerading as a full sweep is worse than none) —
         // print the resume recipe instead and exit 5.
         const auto interruptedEpilogue = [&]() -> int {
-            std::fprintf(stderr,
-                         "orion_sweep: interrupted (signal %d) "
-                         "mid-sweep; no CSV emitted\n",
-                         core::interruptSignal());
+            writeManifest("interrupted");
+            log::diag(log::Level::Warn, "sweep.interrupted",
+                      log::strf("orion_sweep: interrupted (signal %d) "
+                                "mid-sweep; no CSV emitted\n",
+                                core::interruptSignal()));
             if (!journal_path.empty()) {
-                std::fprintf(stderr,
-                             "orion_sweep: finished cells are "
-                             "journaled; rerun with --resume '%s' "
-                             "(instead of --checkpoint) to pick up "
-                             "where this run stopped\n",
-                             journal_path.c_str());
+                log::diag(
+                    log::Level::Info, "sweep.resume_hint",
+                    log::strf("orion_sweep: finished cells are "
+                              "journaled; rerun with --resume '%s' "
+                              "(instead of --checkpoint) to pick up "
+                              "where this run stopped\n",
+                              journal_path.c_str()));
             } else {
-                std::fprintf(stderr,
-                             "orion_sweep: no --checkpoint journal, "
-                             "so finished cells were discarded\n");
+                log::diag(log::Level::Info, "sweep.resume_hint",
+                          "orion_sweep: no --checkpoint journal, "
+                          "so finished cells were discarded\n");
             }
             return 5;
         };
@@ -590,6 +765,15 @@ main(int argc, char** argv)
             const auto points = Sweep::overRatesAveraged(
                 opts.network, opts.traffic, sim_cfg, rates, seeds,
                 sweep_opts);
+            if (tracker)
+                tracker->finalize();
+            manifest.pointsFromCheckpoint =
+                tracker ? tracker->fromCheckpoint()
+                        : resume_entries.size();
+            for (const auto& p : points) {
+                manifest.pointsCompleted += p.ranSeeds - p.failedSeeds;
+                manifest.pointsFailed += p.failedSeeds;
+            }
             if (core::interruptToken().cancelled())
                 return interruptedEpilogue();
 
@@ -625,13 +809,17 @@ main(int argc, char** argv)
             t.headers = {"rate",        "completed",   "latency_mean",
                          "latency_min", "latency_max", "throughput",
                          "power_w",     "failed_seeds", "attempts"};
+            if (resources_cols) {
+                t.headers.insert(t.headers.end(),
+                                 {"wall_s", "cpu_s", "maxrss_kb"});
+            }
             unsigned failed = 0;
             for (const auto& p : points) {
                 failed += p.failedSeeds;
                 unsigned attempts = 0;
                 for (unsigned a : p.attemptsBySeed)
                     attempts += a;
-                t.addRow({
+                std::vector<std::string> row{
                     report::fmt(p.injectionRate, 4),
                     p.allCompleted ? "1" : "0",
                     report::fmt(p.meanLatency, 3),
@@ -641,23 +829,36 @@ main(int argc, char** argv)
                     report::fmt(p.meanPowerWatts, 4),
                     std::to_string(p.failedSeeds),
                     std::to_string(attempts),
-                });
+                };
+                if (resources_cols) {
+                    const PointResources& rs = p.resources;
+                    row.push_back(
+                        resourceCell(rs.valid, rs.wallSeconds));
+                    row.push_back(
+                        resourceCell(rs.valid, rs.cpuSeconds));
+                    row.push_back(rs.valid
+                                      ? std::to_string(rs.maxRssKb)
+                                      : std::string{});
+                }
+                t.addRow(std::move(row));
             }
+            writeManifest(failed > 0 ? "failed-points" : "ok");
             std::fputs(report::formatCsv(t).c_str(), stdout);
-            std::fprintf(stderr,
-                         "# zero-load latency: %.2f cycles; %u seeds "
-                         "per point\n",
-                         zero_load, seeds);
+            log::diag(log::Level::Info, "sweep.done",
+                      log::strf("# zero-load latency: %.2f cycles; "
+                                "%u seeds per point\n",
+                                zero_load, seeds),
+                      {log::u64("failed_seeds", failed)});
             if (failed > 0) {
                 for (const auto& p : points) {
                     if (p.failedSeeds == 0)
                         continue;
-                    std::fprintf(
-                        stderr,
-                        "orion_sweep: rate %.4f: %u of %u seeds "
-                        "failed: %s\n",
-                        p.injectionRate, p.failedSeeds, p.seeds,
-                        p.firstFailure.c_str());
+                    log::diag(
+                        log::Level::Error, "sweep.point_failed",
+                        log::strf("orion_sweep: rate %.4f: %u of %u "
+                                  "seeds failed: %s\n",
+                                  p.injectionRate, p.failedSeeds,
+                                  p.seeds, p.firstFailure.c_str()));
                 }
                 return 3;
             }
@@ -681,11 +882,28 @@ main(int argc, char** argv)
             cfg.memMb = isolate_mem_mb;
             cfg.cpuSeconds = isolate_cpu_s;
             cfg.journal = journal.get();
+            cfg.progress = tracker.get();
+            // Observability flags stay in the parent: workers would
+            // otherwise race to overwrite one manifest file and pay
+            // for per-cell phase profiles nobody collects.
+            std::vector<std::string> worker_rest;
+            for (std::size_t f = 0; f < cfg.rest.size(); ++f) {
+                const std::string& a = cfg.rest[f];
+                if (a == "--log-out" || a == "--log-level" ||
+                    a == "--manifest-out") {
+                    ++f; // skip the flag's value too
+                    continue;
+                }
+                if (a == "--profile-phases")
+                    continue;
+                worker_rest.push_back(a);
+            }
+            cfg.rest = std::move(worker_rest);
             char tmpl[] = "/tmp/orion_sweep.XXXXXX";
             if (::mkdtemp(tmpl) == nullptr) {
-                std::fprintf(stderr,
-                             "orion_sweep: mkdtemp failed for worker "
-                             "report files\n");
+                log::diag(log::Level::Error, "sweep.error",
+                          "orion_sweep: mkdtemp failed for worker "
+                          "report files\n");
                 return 1;
             }
             cfg.tmpDir = tmpl;
@@ -697,6 +915,18 @@ main(int argc, char** argv)
         } else {
             points = Sweep::overRates(opts.network, opts.traffic,
                                       sim_cfg, rates, sweep_opts);
+        }
+        if (tracker)
+            tracker->finalize();
+        manifest.pointsFromCheckpoint =
+            tracker ? tracker->fromCheckpoint() : resume_entries.size();
+        for (const auto& p : points) {
+            if (!p.ran)
+                continue;
+            if (p.failure)
+                ++manifest.pointsFailed;
+            else
+                ++manifest.pointsCompleted;
         }
         if (core::interruptToken().cancelled())
             return interruptedEpilogue();
@@ -714,9 +944,13 @@ main(int argc, char** argv)
         t.headers = {"rate",    "completed", "latency", "p95",
                      "throughput", "power_w", "buffer_w", "crossbar_w",
                      "arbiter_w",  "link_w",  "status",   "attempts"};
+        if (resources_cols) {
+            t.headers.insert(t.headers.end(),
+                             {"wall_s", "cpu_s", "maxrss_kb"});
+        }
         for (const auto& p : points) {
             const Report& r = p.report;
-            t.addRow({
+            std::vector<std::string> row{
                 report::fmt(p.injectionRate, 4),
                 r.completed ? "1" : "0",
                 report::fmt(r.avgLatencyCycles, 3),
@@ -729,37 +963,54 @@ main(int argc, char** argv)
                 report::fmt(r.breakdownWatts.link, 4),
                 stopReasonName(r.stopReason),
                 std::to_string(p.attempts),
-            });
+            };
+            if (resources_cols) {
+                const PointResources& rs = p.resources;
+                row.push_back(resourceCell(rs.valid, rs.wallSeconds));
+                row.push_back(resourceCell(rs.valid, rs.cpuSeconds));
+                row.push_back(rs.valid ? std::to_string(rs.maxRssKb)
+                                       : std::string{});
+            }
+            t.addRow(std::move(row));
         }
+        bool any_failed = false;
+        for (const auto& p : points)
+            any_failed = any_failed || p.failure.has_value();
+        writeManifest(any_failed ? "failed-points" : "ok");
         std::fputs(report::formatCsv(t).c_str(), stdout);
 
         const double sat = Sweep::saturationRate(points, zero_load);
-        std::fprintf(stderr,
-                     "# zero-load latency: %.2f cycles; saturation "
-                     "(2x zero-load): %s\n",
-                     zero_load,
-                     sat < 0 ? "beyond swept range"
-                             : report::fmt(sat, 3).c_str());
+        log::diag(log::Level::Info, "sweep.done",
+                  log::strf("# zero-load latency: %.2f cycles; "
+                            "saturation (2x zero-load): %s\n",
+                            zero_load,
+                            sat < 0 ? "beyond swept range"
+                                    : report::fmt(sat, 3).c_str()),
+                  {log::num("zero_load_cycles", zero_load),
+                   log::num("saturation_rate", sat)});
 
         // Failure isolation: every healthy point above still printed;
         // failed points carry their diagnosis (and forensics on
         // stderr) and flip the exit code.
-        bool any_failed = false;
         for (const auto& p : points) {
             if (!p.failure)
                 continue;
-            any_failed = true;
-            std::fprintf(stderr,
-                         "orion_sweep: rate %.4f failed (%s): %s\n",
-                         p.injectionRate,
-                         stopReasonName(p.failure->reason),
-                         p.failure->message.c_str());
+            log::diag(log::Level::Error, "sweep.point_failed",
+                      log::strf("orion_sweep: rate %.4f failed (%s): "
+                                "%s\n",
+                                p.injectionRate,
+                                stopReasonName(p.failure->reason),
+                                p.failure->message.c_str()),
+                      {log::num("rate", p.injectionRate),
+                       log::str("reason",
+                                stopReasonName(p.failure->reason))});
             if (!p.failure->forensicsJson.empty())
-                std::fputs(p.failure->forensicsJson.c_str(), stderr);
+                log::rawStderr(p.failure->forensicsJson);
         }
         return any_failed ? 3 : 0;
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        log::diag(log::Level::Error, "sweep.error",
+                  log::strf("%s\n", e.what()));
         return 1;
     }
 }
