@@ -14,11 +14,6 @@
 
 namespace orion::core {
 
-namespace {
-
-/** Escape a string field for the '|'-separated line format: '%',
- * '|', newline and CR become %XX so a field can never fake a
- * separator or break line framing. */
 std::string
 escapeField(const std::string& s)
 {
@@ -36,6 +31,8 @@ escapeField(const std::string& s)
     return out;
 }
 
+namespace {
+
 int
 hexNibble(char c)
 {
@@ -47,6 +44,8 @@ hexNibble(char c)
         return c - 'A' + 10;
     return -1;
 }
+
+} // namespace
 
 std::string
 unescapeField(std::string_view s)
@@ -70,6 +69,17 @@ unescapeField(std::string_view s)
     return out;
 }
 
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+namespace {
+
 std::uint64_t
 parseU64Field(const std::string& key, std::string_view v)
 {
@@ -83,15 +93,6 @@ parseU64Field(const std::string& key, std::string_view v)
         throw CheckpointError("checkpoint: bad integer in field '" +
                               key + "': '" + s + "'");
     return n;
-}
-
-std::string
-hex16(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
 }
 
 /** Incremental configuration hasher: every value lands with a type

@@ -90,6 +90,22 @@ std::string exactDouble(double v);
 double parseExactDouble(const std::string& s);
 /// @}
 
+/// @name Line-format building blocks
+/// Shared with core/cache, whose segment lines wrap journal entries.
+/// @{
+/** Escape a string field for the '|'-separated line format: '%',
+ * '|', newline and CR become %XX so a field can never fake a
+ * separator or break line framing. */
+std::string escapeField(const std::string& s);
+
+/** Undo escapeField. @throw CheckpointError on a malformed or
+ * truncated %-escape. */
+std::string unescapeField(std::string_view s);
+
+/** @p v as 16 lowercase hex digits (checksum/fingerprint fields). */
+std::string hex16(std::uint64_t v);
+/// @}
+
 /** FNV-1a 64-bit offset basis. */
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 

@@ -354,10 +354,8 @@ parse(const std::vector<std::string>& args)
 
     // Cross-field checks happen in the library validators; run them
     // here so errors surface before the (possibly long) run starts.
-    o.network.validate();
-    validateTraffic(o.network, o.traffic);
     try {
-        o.sim.fault.validate();
+        validateConfig(o.network, o.traffic, o.sim);
     } catch (const std::invalid_argument& e) {
         fail(e.what());
     }

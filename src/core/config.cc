@@ -1,6 +1,7 @@
 #include "core/config.hh"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -100,8 +101,11 @@ validateTraffic(const NetworkConfig& network, const TrafficConfig& traffic)
         return n >= 0 && static_cast<unsigned>(n) < nodes;
     };
 
+    // Negated-range form so NaN (for which every comparison is
+    // false) is rejected instead of slipping past both bounds.
     if (traffic.pattern != net::TrafficPattern::Trace &&
-        (traffic.injectionRate < 0.0 || traffic.injectionRate > 1.0)) {
+        !(traffic.injectionRate >= 0.0 &&
+          traffic.injectionRate <= 1.0)) {
         fail("injectionRate must lie in [0, 1] packets/cycle/node");
     }
     switch (traffic.pattern) {
@@ -114,8 +118,8 @@ validateTraffic(const NetworkConfig& network, const TrafficConfig& traffic)
       case net::TrafficPattern::Hotspot:
         if (!in_range(traffic.hotspotNode))
             fail("hotspotNode is not a node of this network");
-        if (traffic.hotspotFraction < 0.0 ||
-            traffic.hotspotFraction > 1.0) {
+        if (!(traffic.hotspotFraction >= 0.0 &&
+              traffic.hotspotFraction <= 1.0)) {
             fail("hotspotFraction must lie in [0, 1]");
         }
         break;
@@ -131,6 +135,35 @@ validateTraffic(const NetworkConfig& network, const TrafficConfig& traffic)
       default:
         break;
     }
+}
+
+void
+SimConfig::validate() const
+{
+    if (samplePackets == 0)
+        fail("samplePackets must be >= 1");
+    if (maxCycles == 0)
+        fail("maxCycles must be >= 1");
+    if (watchdogCycles == 0)
+        fail("watchdogCycles must be >= 1 (0 would disable the "
+             "stall watchdog and let a saturated run spin forever)");
+    // The debug-drill rates compare against injection rates; a NaN
+    // never matches anything, which silently disables the drill the
+    // caller asked for.
+    if (std::isnan(debugPoisonRate))
+        fail("debugPoisonRate must not be NaN");
+    if (std::isnan(debugSegvRate))
+        fail("debugSegvRate must not be NaN");
+}
+
+void
+validateConfig(const NetworkConfig& network, const TrafficConfig& traffic,
+               const SimConfig& sim)
+{
+    network.validate();
+    validateTraffic(network, traffic);
+    sim.validate();
+    sim.fault.validate();
 }
 
 namespace {

@@ -214,7 +214,29 @@ struct SimConfig
      * sweepFingerprint; results are bit-identical either way.
      */
     bool profilePhases = false;
+
+    /**
+     * Validate the measurement protocol: a zero sample, zero cycle
+     * cap, zero watchdog window, or a NaN in the debug-drill rates
+     * would wedge or silently no-op a run. @throw
+     * std::invalid_argument with a structured "orion config: ..."
+     * message. Cross-layer checks (topology, traffic) live in
+     * NetworkConfig::validate() / validateTraffic(); call
+     * validateConfig() for the whole bundle.
+     */
+    void validate() const;
 };
+
+/**
+ * The single validation entry point for one runnable configuration:
+ * network.validate() + validateTraffic() + sim.validate() +
+ * sim.fault.validate(). CLI tools and the orion_served daemon call
+ * this before construction so a malformed request is a structured
+ * `invalid_config` rejection (std::invalid_argument), never an
+ * assert deep inside the simulator.
+ */
+void validateConfig(const NetworkConfig& network,
+                    const TrafficConfig& traffic, const SimConfig& sim);
 
 } // namespace orion
 

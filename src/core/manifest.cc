@@ -198,6 +198,20 @@ writeFileAtomic(const std::string& path, const std::string& contents)
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw std::runtime_error("cannot rename '" + tmp + "' to '" +
                                  path + "'");
+    // fsync the containing directory too: the rename lives in the
+    // directory's data, and without this a power loss (not just a
+    // process death) can forget the replacement entirely.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.empty() ? "/" : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        // Best-effort: some filesystems refuse directory fsync;
+        // the write itself already succeeded.
+        ::fsync(dfd);
+        ::close(dfd);
+    }
 }
 
 } // namespace orion::core

@@ -1,0 +1,557 @@
+#include "core/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "core/forensics.hh"
+#include "core/isolate.hh"
+#include "core/log.hh"
+#include "sim/rng.hh"
+
+namespace orion::core {
+
+namespace {
+
+/** Monotonic seconds for job deadline accounting (wall-clock by
+ * design; Deadline outcomes are never cached or journaled). */
+double
+monotonicSeconds()
+{
+    const auto t = std::chrono::steady_clock::now(); // lint-allow: nondeterminism
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+/** First line of an isolate-mode worker's --report-out file, parsed;
+ * false when missing or corrupt (the crash triage handles it). */
+bool
+readWorkerEntry(const std::string& path, CheckpointEntry& out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    try {
+        out = parseEntry(line);
+    } catch (const CheckpointError&) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char*
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:    return "queued";
+      case JobState::Running:   return "running";
+      case JobState::Done:      return "done";
+      case JobState::Failed:    return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+Server::Server(const ServerOptions& opts) : opts_(opts)
+{
+    if (opts_.isolate) {
+        char tmpl[] = "/tmp/orion_served.XXXXXX";
+        const char* dir = ::mkdtemp(tmpl);
+        if (dir == nullptr)
+            throw std::runtime_error(
+                "orion server: cannot create isolate scratch dir");
+        tmpDir_ = dir;
+    }
+    const unsigned n = std::max(1u, opts_.workers);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+Server::~Server()
+{
+    drain();
+    if (!tmpDir_.empty())
+        ::rmdir(tmpDir_.c_str()); // best-effort (reports are unlinked)
+}
+
+std::uint64_t
+Server::submit(const JobSpec& spec, std::string& error_code,
+               std::string& error_message)
+{
+    core::LockGuard lock(mutex_);
+    if (draining_) {
+        error_code = "draining";
+        error_message = "the daemon is shutting down";
+        return 0;
+    }
+    if (queue_.size() >= opts_.queueMax) {
+        ++rejectedQueueFull_;
+        error_code = "queue_full";
+        error_message =
+            "queue high-water mark reached (" +
+            std::to_string(opts_.queueMax) + " queued jobs); retry "
+            "after backoff";
+        return 0;
+    }
+    const std::uint64_t id = nextJobId_++;
+    auto job = std::make_unique<Job>();
+    job->spec = spec;
+    job->status.id = id;
+    job->status.state = JobState::Queued;
+    job->status.pointsTotal = spec.rates.size();
+    jobs_[id] = std::move(job);
+    queue_.push_back(id);
+    ++submitted_;
+    cv_.notifyOne();
+    return id;
+}
+
+bool
+Server::status(std::uint64_t id, JobStatus& out) const
+{
+    core::LockGuard lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    out = it->second->status;
+    return true;
+}
+
+bool
+Server::cancelJob(std::uint64_t id)
+{
+    core::LockGuard lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job& job = *it->second;
+    if (job.status.state == JobState::Queued) {
+        job.status.state = JobState::Cancelled;
+        job.status.error = "cancelled";
+        ++cancelled_;
+        // Leave the id in queue_; workers skip non-Queued entries.
+    }
+    job.token.cancel(CancelCause::Interrupt);
+    return true;
+}
+
+ServerStats
+Server::stats() const
+{
+    core::LockGuard lock(mutex_);
+    ServerStats s;
+    s.submitted = submitted_;
+    s.rejectedQueueFull = rejectedQueueFull_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.queueDepth = queue_.size();
+    s.running = running_;
+    s.pointsComputed = pointsComputed_;
+    s.pointsFromCache = pointsFromCache_;
+    return s;
+}
+
+void
+Server::drain()
+{
+    {
+        core::LockGuard lock(mutex_);
+        if (!draining_) {
+            draining_ = true;
+            // Queued jobs are cancelled — only in-flight work is
+            // drained; SIGTERM should not wait for a deep backlog.
+            for (const std::uint64_t id : queue_) {
+                const auto it = jobs_.find(id);
+                if (it != jobs_.end() &&
+                    it->second->status.state == JobState::Queued) {
+                    it->second->status.state = JobState::Cancelled;
+                    it->second->status.error = "cancelled (drain)";
+                    ++cancelled_;
+                }
+            }
+            queue_.clear();
+        }
+        cv_.notifyAll();
+    }
+    if (!joined_) {
+        joined_ = true;
+        for (std::thread& t : workers_) {
+            if (t.joinable())
+                t.join();
+        }
+    }
+}
+
+void
+Server::workerMain()
+{
+    for (;;) {
+        Job* job = nullptr;
+        {
+            core::LockGuard lock(mutex_);
+            for (;;) {
+                while (!queue_.empty()) {
+                    const std::uint64_t id = queue_.front();
+                    queue_.pop_front();
+                    const auto it = jobs_.find(id);
+                    if (it == jobs_.end() ||
+                        it->second->status.state != JobState::Queued)
+                        continue; // cancelled while queued
+                    job = it->second.get();
+                    break;
+                }
+                if (job != nullptr || draining_)
+                    break;
+                cv_.wait(mutex_);
+            }
+            if (job == nullptr)
+                return; // draining and the queue is dry
+            job->status.state = JobState::Running;
+            ++running_;
+        }
+        runJob(*job);
+    }
+}
+
+void
+Server::runJob(Job& job)
+{
+    const JobSpec& spec = job.spec;
+    const double budget = spec.timeoutSeconds > 0.0
+                              ? spec.timeoutSeconds
+                              : opts_.defaultTimeoutSeconds;
+    const double t0 = monotonicSeconds();
+
+    std::string text;
+    bool any_failed = false;
+    bool deadline_hit = false;
+    std::string first_error;
+
+    for (std::size_t i = 0; i < spec.rates.size(); ++i) {
+        if (job.token.cancelled())
+            break;
+        double remaining = 0.0;
+        if (budget > 0.0) {
+            remaining = budget - (monotonicSeconds() - t0);
+            if (remaining <= 0.0) {
+                deadline_hit = true;
+                break;
+            }
+        }
+        const double rate = spec.rates[i];
+        std::uint64_t key = 0;
+        bool cached = false;
+        CheckpointEntry entry;
+        if (opts_.cache != nullptr) {
+            TrafficConfig t = spec.traffic;
+            t.injectionRate = rate;
+            key = sweepFingerprint(spec.network, t, spec.sim, {rate},
+                                   1);
+            cached = opts_.cache->lookup(key, entry);
+        }
+        if (!cached) {
+            entry = opts_.isolate
+                        ? runPointIsolated(spec, rate, job.token,
+                                           remaining, job.status.id, i)
+                        : runPointInProcess(spec, rate, job.token,
+                                            remaining);
+            // Only deterministic outcomes are cached — the same
+            // exclusion the checkpoint journal applies.
+            const StopReason sr = entry.failed ? entry.failureReason
+                                               : entry.report.stopReason;
+            if (opts_.cache != nullptr &&
+                sr != StopReason::Deadline &&
+                sr != StopReason::Interrupted) {
+                try {
+                    opts_.cache->insert(key, entry);
+                } catch (const CacheError& e) {
+                    // A full disk must not fail the job; the result
+                    // is still returned, just not cached.
+                    log::event(log::Level::Warn, "served.cache_error",
+                               {log::str("error", e.what())});
+                }
+            }
+        }
+        const StopReason sr = entry.failed ? entry.failureReason
+                                           : entry.report.stopReason;
+        if (sr == StopReason::Deadline) {
+            deadline_hit = true;
+            break;
+        }
+        if (sr == StopReason::Interrupted)
+            break;
+        if (entry.failed) {
+            any_failed = true;
+            if (first_error.empty())
+                first_error = entry.failureMessage;
+        }
+        // The job's result addresses points by their position in the
+        // submitted grid; the cache stores the canonical ri=0 form.
+        entry.rateIndex = i;
+        entry.seedIndex = 0;
+        text += serializeEntry(entry);
+        text += "\n";
+
+        core::LockGuard lock(mutex_);
+        ++job.status.pointsDone;
+        if (cached) {
+            ++job.status.cacheHits;
+            ++pointsFromCache_;
+        } else {
+            ++pointsComputed_;
+        }
+    }
+
+    core::LockGuard lock(mutex_);
+    job.status.resultText = std::move(text);
+    if (job.token.cancelled() &&
+        job.token.cause() == CancelCause::Interrupt) {
+        job.status.state = JobState::Cancelled;
+        job.status.error = "cancelled";
+        ++cancelled_;
+    } else if (deadline_hit) {
+        job.status.state = JobState::Failed;
+        job.status.error = "deadline: the job exceeded its " +
+                           std::to_string(budget) +
+                           " second wall-clock budget";
+        ++failed_;
+    } else if (any_failed) {
+        job.status.state = JobState::Failed;
+        job.status.error = first_error;
+        ++failed_;
+    } else {
+        job.status.state = JobState::Done;
+        ++completed_;
+    }
+    --running_;
+}
+
+CheckpointEntry
+Server::runPointInProcess(const JobSpec& spec, double rate,
+                          CancelToken& job_token,
+                          double deadline_seconds)
+{
+    TrafficConfig t = spec.traffic;
+    t.injectionRate = rate;
+
+    Report report;
+    std::optional<PointFailure> failure;
+    unsigned attempts = 1;
+    const unsigned max_attempts = std::max(1u, opts_.retry.maxAttempts);
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (job_token.cancelled()) {
+            report = Report{};
+            report.stopReason = StopReason::Interrupted;
+            failure = PointFailure{StopReason::Interrupted,
+                                   "job cancelled before the point "
+                                   "could run",
+                                   std::string{}};
+            break;
+        }
+        if (attempt > 0 && opts_.retry.backoffMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.retry.backoffMs));
+        }
+        SimConfig s = spec.sim;
+        // Canonical single-point derivation (rate index 0): the seed
+        // depends only on the configuration and the attempt, never
+        // on the point's position in the job, so cache keys map to
+        // one execution regardless of batching.
+        s.seed = sim::deriveSeed(spec.sim.seed, 0,
+                                 attempt * kRetrySeedOffset);
+        if (attempt > 0 && s.debugPoisonTransient)
+            s.debugPoisonRate = -1.0;
+        attempts = attempt + 1;
+
+        core::CancelToken token(&job_token);
+        if (deadline_seconds > 0.0)
+            token.armDeadline(deadline_seconds);
+        s.cancel = &token;
+
+        try {
+            Simulation run(spec.network, t, s);
+            report = run.run();
+            const StopReason sr = report.stopReason;
+            if (sr == StopReason::Deadline) {
+                failure = PointFailure{
+                    StopReason::Deadline,
+                    "point exceeded the job deadline after " +
+                        std::to_string(report.totalCycles) +
+                        " cycles",
+                    forensicSnapshot(run, "job deadline expired")};
+                break;
+            }
+            if (sr == StopReason::Interrupted) {
+                failure = PointFailure{
+                    StopReason::Interrupted,
+                    "interrupted mid-run (cancel/SIGTERM)",
+                    std::string{}};
+                break;
+            }
+            if (sr != StopReason::CheckFailure) {
+                failure.reset();
+                break;
+            }
+            failure = PointFailure{
+                StopReason::CheckFailure,
+                report.checkFailureDiagnostic,
+                forensicSnapshot(run,
+                                 report.checkFailureDiagnostic)};
+        } catch (const std::exception& e) {
+            report = Report{};
+            report.stopReason = StopReason::CheckFailure;
+            failure = PointFailure{StopReason::CheckFailure, e.what(),
+                                   std::string{}};
+        }
+        // CheckFailure (thrown or reported): retry on a rederived
+        // seed until the attempts budget runs out.
+    }
+
+    CheckpointEntry e;
+    e.rateIndex = 0;
+    e.seedIndex = 0;
+    e.attempts = attempts;
+    e.report = report;
+    if (failure) {
+        e.failed = true;
+        e.failureReason = failure->reason;
+        e.failureMessage = failure->message;
+        e.failureForensics = failure->forensicsJson;
+    }
+    return e;
+}
+
+CheckpointEntry
+Server::runPointIsolated(const JobSpec& spec, double rate,
+                         CancelToken& job_token,
+                         double deadline_seconds,
+                         std::uint64_t job_id, std::size_t point_index)
+{
+    CheckpointEntry e;
+    e.rateIndex = 0;
+    e.seedIndex = 0;
+
+    std::string crash_message;
+    std::string worker_exit;
+    const unsigned max_attempts = std::max(1u, opts_.retry.maxAttempts);
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (job_token.cancelled()) {
+            e.report = Report{};
+            e.report.stopReason = StopReason::Interrupted;
+            e.failed = true;
+            e.failureReason = StopReason::Interrupted;
+            e.failureMessage =
+                "job cancelled before the point could run";
+            return e;
+        }
+        if (attempt > 0 && opts_.retry.backoffMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.retry.backoffMs));
+        }
+        e.attempts = attempt + 1;
+
+        const std::uint64_t seed = sim::deriveSeed(
+            spec.sim.seed, 0, attempt * kRetrySeedOffset);
+        const std::string report_path =
+            tmpDir_ + "/job" + std::to_string(job_id) + "_p" +
+            std::to_string(point_index) + "_a" +
+            std::to_string(attempt) + ".entry";
+
+        IsolateOptions io;
+        io.argv.push_back(opts_.isolateExe);
+        io.argv.insert(io.argv.end(), spec.argv.begin(),
+                       spec.argv.end());
+        // Appended flags win: the worker runs exactly this point's
+        // rate (hexfloat for bit-exactness) and derived seed.
+        io.argv.push_back("--rate");
+        io.argv.push_back(exactDouble(rate));
+        io.argv.push_back("--seed");
+        io.argv.push_back(std::to_string(seed));
+        io.argv.push_back("--report-out");
+        io.argv.push_back(report_path);
+        if (deadline_seconds > 0.0) {
+            io.argv.push_back("--point-timeout");
+            io.argv.push_back(std::to_string(deadline_seconds));
+            // The cooperative deadline lives in the worker; the
+            // parent watchdog only backstops a wedged process.
+            io.timeoutSeconds = deadline_seconds * 2.0 + 5.0;
+        }
+        io.quietStdout = true;
+        io.cancel = &job_token;
+
+        const IsolateResult res = runIsolated(io);
+        CheckpointEntry got;
+        const bool have_entry = readWorkerEntry(report_path, got);
+        std::remove(report_path.c_str());
+
+        if (res.interrupted || (res.exited && res.exitCode == 5)) {
+            e.report = Report{};
+            e.report.stopReason = StopReason::Interrupted;
+            e.failed = true;
+            e.failureReason = StopReason::Interrupted;
+            e.failureMessage = "interrupted mid-run (cancel/SIGTERM)";
+            return e;
+        }
+        if (res.timedOut || (res.exited && res.exitCode == 6)) {
+            e.report = have_entry ? got.report : Report{};
+            e.report.stopReason = StopReason::Deadline;
+            e.failed = true;
+            e.failureReason = StopReason::Deadline;
+            e.failureMessage =
+                res.timedOut
+                    ? "worker exceeded the watchdog deadline and "
+                      "was killed (" + res.describe() + ")"
+                    : (have_entry ? got.failureMessage
+                                  : "worker hit --point-timeout "
+                                    "(exit 6)");
+            return e;
+        }
+        if (res.healthyExit() && have_entry) {
+            e.report = got.report;
+            e.failed = got.failed;
+            e.failureReason = got.failureReason;
+            e.failureMessage = got.failureMessage;
+            e.failureForensics = got.failureForensics;
+            e.workerExit = res.describe();
+            if (got.failed &&
+                got.failureReason == StopReason::CheckFailure &&
+                attempt + 1 < max_attempts) {
+                continue; // the in-process retry contract
+            }
+            return e;
+        }
+        // Crash, OOM kill, exec failure, or a healthy-looking exit
+        // with no parseable report: retry, then record a structured
+        // worker-crash failure.
+        worker_exit = res.describe();
+        crash_message = "worker crashed (" + worker_exit + ")";
+        if (res.healthyExit())
+            crash_message = "worker " + worker_exit +
+                            " but wrote no parseable report";
+        if (!res.stderrTail.empty())
+            crash_message += ": " + res.stderrTail;
+    }
+
+    e.report = Report{};
+    e.report.stopReason = StopReason::WorkerCrash;
+    e.failed = true;
+    e.failureReason = StopReason::WorkerCrash;
+    e.failureMessage = crash_message;
+    e.workerExit = worker_exit;
+    return e;
+}
+
+} // namespace orion::core

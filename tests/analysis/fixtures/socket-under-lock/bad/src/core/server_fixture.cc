@@ -1,0 +1,27 @@
+// socket-under-lock fixture (BAD): blocking socket I/O inside a
+// LockGuard critical section. Expect exactly two findings.
+#include <string>
+
+namespace orion::core {
+
+void
+Server::replyLocked(int fd, const std::string& line)
+{
+    core::LockGuard lock(mutex_);
+    queueDepth_ += 1;
+    ::send(fd, line.data(), line.size(), 0); // finding 1
+    state_ = "replied";
+}
+
+void
+Server::pollLocked(int fd)
+{
+    char buf[128];
+    core::LockGuard lock(mutex_);
+    if (draining_)
+        return;
+    const long n = ::recv(fd, buf, sizeof buf, 0); // finding 2
+    bytes_ += n;
+}
+
+} // namespace orion::core

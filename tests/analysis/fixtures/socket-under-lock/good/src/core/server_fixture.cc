@@ -1,0 +1,28 @@
+// socket-under-lock fixture (GOOD): socket I/O happens outside the
+// critical section; the lock only covers in-memory state.
+#include <string>
+
+namespace orion::core {
+
+void
+Server::reply(int fd, const std::string& line)
+{
+    {
+        core::LockGuard lock(mutex_);
+        queueDepth_ += 1;
+        state_ = "replying";
+    }
+    ::send(fd, line.data(), line.size(), 0); // guard already dead
+}
+
+long
+Server::pump(int fd)
+{
+    char buf[128];
+    const long n = ::recv(fd, buf, sizeof buf, 0); // before locking
+    core::LockGuard lock(mutex_);
+    bytes_ += n;
+    return n;
+}
+
+} // namespace orion::core
